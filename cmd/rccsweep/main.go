@@ -1,0 +1,127 @@
+// Command rccsweep runs parameter sweeps around the paper's design points:
+// fixed RCC lease values (the paper notes the spread among fixed leases is
+// small because logical time self-scales — Sec. III-E), warps per SM (the
+// TLP that hides SC stalls), the TC lease the baselines depend on, and the
+// timestamp width behind the Sec. III-D rollover mechanism.
+//
+//	rccsweep [-bench BH] [-scale f] <sweep>
+//
+// Sweeps: lease, warps, tclease, tsbits, sched.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rccsim/internal/config"
+	"rccsim/internal/experiments"
+	"rccsim/internal/workload"
+)
+
+var (
+	bench = flag.String("bench", "BH", "benchmark to sweep")
+	scale = flag.Float64("scale", 0.5, "workload scale")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Println("sweeps: lease warps tclease tsbits sched")
+		return
+	}
+	b, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	base := config.Default()
+	base.Scale = *scale
+
+	var err error
+	switch flag.Arg(0) {
+	case "lease":
+		err = sweepLease(base, b)
+	case "warps":
+		err = sweepWarps(base, b)
+	case "tclease":
+		err = sweepTCLease(base, b)
+	case "tsbits":
+		err = sweepTSBits(base, b)
+	case "sched":
+		err = sweepSched(base, b)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", flag.Arg(0))
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func sweepLease(base config.Config, b workload.Benchmark) error {
+	fmt.Printf("RCC fixed-lease sweep on %s (predictor off)\n", b.Name)
+	fmt.Printf("%8s %10s %10s %12s\n", "lease", "cycles", "expired", "renewed")
+	rows, err := experiments.LeaseSweep(base, b, []uint64{8, 32, 64, 128, 512, 2048})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%8d %10d %10d %12d\n", r.Lease, r.Cycles, r.Expired, r.Renewed)
+	}
+	return nil
+}
+
+func sweepWarps(base config.Config, b workload.Benchmark) error {
+	fmt.Printf("warps-per-SM sweep on %s (RCC, SC)\n", b.Name)
+	fmt.Printf("%8s %10s %8s %16s\n", "warps", "cycles", "IPC", "SC stall cycles")
+	rows, err := experiments.WarpSweep(base, b, []int{4, 8, 16, 32, 48})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%8d %10d %8.2f %16d\n", r.Warps, r.Cycles, r.IPC, r.StallCycles)
+	}
+	return nil
+}
+
+func sweepTCLease(base config.Config, b workload.Benchmark) error {
+	fmt.Printf("TC-Strong lease sweep on %s\n", b.Name)
+	fmt.Printf("%8s %10s %16s %12s\n", "lease", "cycles", "store stall cyc", "L1 hit rate")
+	rows, err := experiments.TCLeaseSweep(base, b, []uint64{100, 200, 400, 800, 1600})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%8d %10d %16d %11.1f%%\n", r.Lease, r.Cycles, r.StoreStalls, 100*r.L1HitRate)
+	}
+	return nil
+}
+
+func sweepTSBits(base config.Config, b workload.Benchmark) error {
+	fmt.Printf("RCC timestamp-width sweep on %s\n", b.Name)
+	fmt.Printf("%8s %10s %10s %14s\n", "bits", "cycles", "rollovers", "stall cycles")
+	rows, err := experiments.TSBitsSweep(base, b, []uint{14, 16, 18, 20, 24, 32})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%8d %10d %10d %14d\n", r.Bits, r.Cycles, r.Rollovers, r.Stall)
+	}
+	return nil
+}
+
+func sweepSched(base config.Config, b workload.Benchmark) error {
+	fmt.Printf("warp-scheduler sweep on %s\n", b.Name)
+	fmt.Printf("%6s %8s %10s %8s %16s\n", "sched", "proto", "cycles", "IPC", "SC stall cycles")
+	rows, err := experiments.SchedulerSweep(base, b,
+		[]config.Protocol{config.MESI, config.TCS, config.RCC})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%6v %8v %10d %8.2f %16d\n", r.Scheduler, r.Protocol, r.Cycles, r.IPC, r.StallCycles)
+	}
+	return nil
+}

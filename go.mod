@@ -1,0 +1,3 @@
+module rccsim
+
+go 1.22

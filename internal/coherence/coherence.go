@@ -1,0 +1,218 @@
+// Package coherence defines the vocabulary shared by every protocol in the
+// simulator: the coherence message types exchanged between L1s and L2
+// partitions, the warp-level memory request that SMs hand to their L1
+// controller, and the controller interfaces the machine assembles.
+//
+// Concrete protocols live in internal/core (RCC — the paper's
+// contribution), internal/coherence/mesi, internal/coherence/tc (TC-Strong
+// and TC-Weak), and internal/coherence/ideal.
+package coherence
+
+import (
+	"fmt"
+
+	"rccsim/internal/config"
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+)
+
+// MsgType enumerates the coherence messages used across all protocols.
+// Individual protocols use a subset.
+type MsgType uint8
+
+const (
+	// GetS requests a readable copy of a line. In RCC it carries the
+	// requesting core's logical clock (Now) and, for the renewal
+	// mechanism, the expiration time of the requester's stale copy (Exp).
+	GetS MsgType = iota
+	// Write is a write-through store request carrying the line data.
+	Write
+	// AtomicReq is a read-modify-write performed at the L2.
+	AtomicReq
+	// Data is a full-line response. In timestamp protocols it carries the
+	// lease expiration (Exp) and the block version (Ver).
+	Data
+	// Renew is the RCC lease-extension grant: a new expiration time with
+	// no data payload (Sec. III-E).
+	Renew
+	// Ack acknowledges a Write or AtomicReq. In RCC it carries the
+	// logical write time (Ver); in TC-Weak the global write completion
+	// time (Exp = GWCT); atomic acks also carry the old value (Val).
+	Ack
+	// Inv invalidates an L1 copy (MESI stores and L2 recalls).
+	Inv
+	// InvAck acknowledges an Inv.
+	InvAck
+	// FlushReq asks an L1 to zero its clock and invalidate everything
+	// (RCC timestamp rollover, Sec. III-D).
+	FlushReq
+	// FlushAck acknowledges a FlushReq.
+	FlushAck
+	// PutS notifies the directory that an L1 evicted a shared line
+	// (MESI only; timestamp protocols self-invalidate silently).
+	PutS
+	// WBAck acknowledges a PutS.
+	WBAck
+)
+
+// String returns the protocol-literature name of the message type.
+func (t MsgType) String() string {
+	switch t {
+	case GetS:
+		return "GETS"
+	case Write:
+		return "WRITE"
+	case AtomicReq:
+		return "ATOMIC"
+	case Data:
+		return "DATA"
+	case Renew:
+		return "RENEW"
+	case Ack:
+		return "ACK"
+	case Inv:
+		return "INV"
+	case InvAck:
+		return "INVACK"
+	case FlushReq:
+		return "FLUSH"
+	case FlushAck:
+		return "FLUSHACK"
+	case PutS:
+		return "PUTS"
+	case WBAck:
+		return "WBACK"
+	}
+	return fmt.Sprintf("MsgType(%d)", int(t))
+}
+
+// Class maps a message type to its traffic-accounting class (Fig 9c).
+func (t MsgType) Class() stats.MsgClass {
+	switch t {
+	case GetS:
+		return stats.MsgReq
+	case Write, AtomicReq:
+		return stats.MsgStData
+	case Data:
+		return stats.MsgLdData
+	case Ack:
+		return stats.MsgAckCtl
+	case Renew:
+		return stats.MsgRenewCt
+	case Inv, InvAck, PutS, WBAck:
+		return stats.MsgInvCtl
+	default:
+		return stats.MsgFlushCt
+	}
+}
+
+// CarriesData reports whether the message includes a full cache line and
+// therefore uses the large flit size.
+func (t MsgType) CarriesData() bool {
+	return t == Write || t == AtomicReq || t == Data
+}
+
+// Msg is one coherence message in flight between an L1 (node id = SM id)
+// and an L2 partition (node id = NumSMs + partition).
+type Msg struct {
+	Type MsgType
+	Line uint64 // line address
+	Src  int    // source node id
+	Dst  int    // destination node id
+
+	ReqID uint64 // request token, echoed in responses
+	Warp  int    // originating warp (core-local), echoed in responses
+
+	// Timestamp payloads; logical (RCC) or physical (TC) per protocol.
+	Now uint64
+	Exp uint64
+	Ver uint64
+
+	Val    uint64 // line value (one value per line; see DESIGN.md)
+	Atomic bool   // distinguishes atomic acks/data from plain ones
+}
+
+// Request is one warp-level, line-granularity memory access from an SM to
+// its L1 controller. A warp memory instruction may fan out into several
+// Requests (memory divergence); the SM counts them back in.
+type Request struct {
+	ID    uint64
+	Class stats.OpClass
+	Line  uint64
+	Warp  int
+	Val   uint64 // store value / atomic operand
+	Issue timing.Cycle
+
+	// Result, filled in before MemDone.
+	Data uint64
+}
+
+// Sink receives completions of Requests. It is implemented by the SM.
+type Sink interface {
+	// MemDone is called exactly once per accepted Request.
+	MemDone(r *Request, now timing.Cycle)
+}
+
+// Port sends messages into the interconnect. Implemented by noc.Network.
+type Port interface {
+	Send(m *Msg, now timing.Cycle)
+}
+
+// L1 is the per-SM cache controller.
+type L1 interface {
+	// Access submits a request. It returns false if the controller
+	// cannot accept it this cycle (MSHR full); the SM retries.
+	Access(r *Request, now timing.Cycle) bool
+	// Deliver hands the controller a message from the interconnect.
+	Deliver(m *Msg)
+	// Tick processes queued work; reports whether anything happened.
+	Tick(now timing.Cycle) bool
+	// NextEvent returns the earliest future cycle at which Tick could do
+	// work, or timing.Never.
+	NextEvent(now timing.Cycle) timing.Cycle
+	// FenceReadyAt returns the earliest cycle at which a FENCE by warp w
+	// may complete, assuming the warp already has no outstanding
+	// accesses. A result <= now means "ready now". Protocols without
+	// fence semantics return now.
+	FenceReadyAt(warp int, now timing.Cycle) timing.Cycle
+	// FenceComplete notifies the controller that warp w's fence
+	// committed (RCC-WO merges its read and write views here).
+	FenceComplete(warp int, now timing.Cycle)
+	// Drain reports whether the controller has no buffered work at all
+	// (used by the run loop's termination check).
+	Drained() bool
+}
+
+// L2 is one shared-cache partition controller.
+type L2 interface {
+	Deliver(m *Msg)
+	Tick(now timing.Cycle) bool
+	NextEvent(now timing.Cycle) timing.Cycle
+	Drained() bool
+}
+
+// Flits returns the flit size of message m under cfg.
+func Flits(cfg config.Config, m *Msg) int {
+	if m.Type.CarriesData() {
+		return cfg.DataFlits()
+	}
+	return cfg.ControlFlits()
+}
+
+// PartitionOf maps a line address to its L2 partition.
+func PartitionOf(line uint64, partitions int) int {
+	return int(line % uint64(partitions))
+}
+
+// L2SetIndex maps a line to a set within its partition.
+func L2SetIndex(line uint64, partitions, sets int) int {
+	return int((line / uint64(partitions)) % uint64(sets))
+}
+
+// L1SetIndex maps a line to an L1 set.
+func L1SetIndex(line uint64, sets int) int {
+	return int(line % uint64(sets))
+}
+
+// L2NodeID returns the interconnect node id of a partition.
+func L2NodeID(part, numSMs int) int { return numSMs + part }

@@ -1,0 +1,673 @@
+// Package mesi implements the paper's baseline: a CPU-style directory
+// protocol adapted to GPU write-through, write-no-allocate L1 caches
+// ("MESI" in Figs 1, 8 and 9). The L2 directory tracks sharers with a full
+// bitmap; a store to a shared block invalidates every copy and collects
+// acknowledgements before the store is acknowledged (write atomicity for
+// SC), and L2 evictions of shared blocks recall the copies first.
+//
+// The package also provides the SC-IDEAL machine of Fig. 1d: identical,
+// except read and write permissions are acquired instantly — sharer copies
+// vanish with zero latency and zero traffic, isolating the part of SC
+// overhead that comes from coherence permission latency.
+package mesi
+
+import (
+	"rccsim/internal/coherence"
+	"rccsim/internal/config"
+	"rccsim/internal/mem"
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+)
+
+// l1Line is the per-line L1 metadata (S state + value).
+type l1Line struct {
+	Val uint64
+}
+
+type l1MSHR struct {
+	getsOut bool
+	loads   []*coherence.Request
+	stores  []*coherence.Request
+}
+
+func (m *l1MSHR) empty() bool { return len(m.loads) == 0 && len(m.stores) == 0 }
+
+// L1 is the MESI private-cache controller. Valid lines are in S state;
+// stores self-invalidate the local copy and write through.
+type L1 struct {
+	cfg  config.Config
+	id   int
+	port coherence.Port
+	sink coherence.Sink
+	st   *stats.Run
+
+	tags  *mem.Array[l1Line]
+	mshrs *mem.MSHRs[l1MSHR]
+	inbox []*coherence.Msg
+}
+
+// NewL1 builds the controller.
+func NewL1(cfg config.Config, id int, port coherence.Port, sink coherence.Sink, st *stats.Run) *L1 {
+	return &L1{
+		cfg:  cfg,
+		id:   id,
+		port: port,
+		sink: sink,
+		st:   st,
+		tags: mem.NewArray[l1Line](cfg.L1Sets, cfg.L1Ways, func(l uint64) int {
+			return coherence.L1SetIndex(l, cfg.L1Sets)
+		}),
+		mshrs: mem.NewMSHRs[l1MSHR](cfg.L1MSHRs),
+	}
+}
+
+func (c *L1) l2node(line uint64) int {
+	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
+}
+
+// Zap invalidates a line with no message exchange (SC-IDEAL only).
+func (c *L1) Zap(line uint64) {
+	if e := c.tags.Lookup(line); e != nil {
+		c.tags.Invalidate(e)
+	}
+}
+
+// Access implements coherence.L1.
+func (c *L1) Access(r *coherence.Request, now timing.Cycle) bool {
+	if r.Class == stats.OpLoad {
+		return c.load(r, now)
+	}
+	return c.write(r, now)
+}
+
+func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
+	c.st.L1Loads++
+	e := c.tags.Lookup(r.Line)
+	if e != nil {
+		c.st.L1LoadHits++
+		c.tags.Touch(e)
+		r.Data = e.Meta.Val
+		c.sink.MemDone(r, now)
+		return true
+	}
+	c.st.L1LoadMisses++
+	m := c.mshrs.Get(r.Line)
+	if m == nil {
+		m = c.mshrs.Alloc(r.Line)
+		if m == nil {
+			c.st.L1Loads--
+			c.st.L1LoadMisses--
+			return false
+		}
+	}
+	m.loads = append(m.loads, r)
+	if !m.getsOut {
+		m.getsOut = true
+		c.port.Send(&coherence.Msg{
+			Type: coherence.GetS,
+			Line: r.Line,
+			Src:  c.id,
+			Dst:  c.l2node(r.Line),
+		}, now)
+	}
+	return true
+}
+
+func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
+	m := c.mshrs.Get(r.Line)
+	if m == nil {
+		m = c.mshrs.Alloc(r.Line)
+		if m == nil {
+			return false
+		}
+	}
+	if r.Class == stats.OpStore {
+		c.st.L1Stores++
+	}
+	// Write-through, no-allocate: the local copy is stale the moment the
+	// store issues.
+	if e := c.tags.Lookup(r.Line); e != nil {
+		c.tags.Invalidate(e)
+	}
+	m.stores = append(m.stores, r)
+	typ := coherence.Write
+	atomic := false
+	if r.Class == stats.OpAtomic {
+		typ = coherence.AtomicReq
+		atomic = true
+	}
+	c.port.Send(&coherence.Msg{
+		Type:   typ,
+		Line:   r.Line,
+		Src:    c.id,
+		Dst:    c.l2node(r.Line),
+		ReqID:  r.ID,
+		Warp:   r.Warp,
+		Val:    r.Val,
+		Atomic: atomic,
+	}, now)
+	return true
+}
+
+// Deliver implements coherence.L1.
+func (c *L1) Deliver(m *coherence.Msg) { c.inbox = append(c.inbox, m) }
+
+// Tick implements coherence.L1.
+func (c *L1) Tick(now timing.Cycle) bool {
+	did := false
+	for len(c.inbox) > 0 {
+		m := c.inbox[0]
+		c.inbox = c.inbox[1:]
+		c.handle(m, now)
+		did = true
+	}
+	return did
+}
+
+func (c *L1) handle(m *coherence.Msg, now timing.Cycle) {
+	switch m.Type {
+	case coherence.Data:
+		if m.Atomic {
+			c.finishStore(m, m.Val, now)
+			return
+		}
+		c.handleData(m, now)
+	case coherence.Ack:
+		c.finishStore(m, 0, now)
+	case coherence.WBAck:
+		// Directory acknowledged a PutS; nothing to do.
+	case coherence.Inv:
+		c.st.Invalidations++
+		if e := c.tags.Lookup(m.Line); e != nil {
+			c.tags.Invalidate(e)
+		}
+		c.port.Send(&coherence.Msg{
+			Type: coherence.InvAck,
+			Line: m.Line,
+			Src:  c.id,
+			Dst:  m.Src,
+		}, now)
+	default:
+		panic("mesi l1: unexpected message " + m.Type.String())
+	}
+}
+
+func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
+	e, victim, ok := c.tags.Allocate(m.Line, func(v *mem.Entry[l1Line]) bool {
+		return c.mshrs.Get(v.Tag) == nil
+	})
+	if ok {
+		if victim.WasValid {
+			c.st.L1Evictions++
+			// MESI directories must learn about evictions (PutS); the
+			// resulting control traffic is a significant cost of
+			// directory coherence on thrash-prone GPU L1s.
+			c.port.Send(&coherence.Msg{
+				Type: coherence.PutS,
+				Line: victim.Tag,
+				Src:  c.id,
+				Dst:  c.l2node(victim.Tag),
+			}, now)
+		}
+		e.Meta.Val = m.Val
+	}
+	mshr := c.mshrs.Get(m.Line)
+	if mshr == nil {
+		return
+	}
+	mshr.getsOut = false
+	for _, r := range mshr.loads {
+		r.Data = m.Val
+		c.sink.MemDone(r, now)
+	}
+	mshr.loads = mshr.loads[:0]
+	if mshr.empty() {
+		c.mshrs.Free(m.Line)
+	}
+}
+
+func (c *L1) finishStore(m *coherence.Msg, data uint64, now timing.Cycle) {
+	mshr := c.mshrs.Get(m.Line)
+	if mshr == nil {
+		return
+	}
+	for i, r := range mshr.stores {
+		if r.ID == m.ReqID {
+			mshr.stores = append(mshr.stores[:i], mshr.stores[i+1:]...)
+			r.Data = data
+			c.sink.MemDone(r, now)
+			break
+		}
+	}
+	if mshr.empty() {
+		c.mshrs.Free(m.Line)
+	}
+}
+
+// NextEvent implements coherence.L1.
+func (c *L1) NextEvent(now timing.Cycle) timing.Cycle {
+	if len(c.inbox) > 0 {
+		return now
+	}
+	return timing.Never
+}
+
+// FenceReadyAt implements coherence.L1 (MESI runs under SC; no-op).
+func (c *L1) FenceReadyAt(warp int, now timing.Cycle) timing.Cycle { return now }
+
+// FenceComplete implements coherence.L1.
+func (c *L1) FenceComplete(warp int, now timing.Cycle) {}
+
+// Drained implements coherence.L1.
+func (c *L1) Drained() bool { return len(c.inbox) == 0 && c.mshrs.Len() == 0 }
+
+// l2Line is the per-block directory state: value, dirty bit, and the
+// sharer bitmap (full map; up to 64 SMs).
+type l2Line struct {
+	Val     uint64
+	Dirty   bool
+	Sharers uint64
+}
+
+type l2MSHR struct {
+	readers  []*coherence.Msg
+	stalled  []*coherence.Msg // atomics wait for the fill (need the old value)
+	writeVal uint64
+	hasWrite bool
+}
+
+// invWait tracks an invalidation round: either a store waiting for
+// INVACKs, or a recall preparing an eviction (write == nil).
+type invWait struct {
+	pending int
+	write   *coherence.Msg
+	queued  []*coherence.Msg
+}
+
+// L2 is one directory partition.
+type L2 struct {
+	cfg    config.Config
+	part   int
+	nodeID int
+	ideal  bool // SC-IDEAL: permissions acquired instantly
+	port   coherence.Port
+	st     *stats.Run
+
+	tags    *mem.Array[l2Line]
+	mshrs   *mem.MSHRs[l2MSHR]
+	dram    *mem.DRAM
+	backing *mem.Backing
+
+	pipe      timing.Queue[*coherence.Msg] // demand requests
+	mpipe     timing.Queue[*coherence.Msg] // directory maintenance (PutS, InvAck)
+	deferred  []*coherence.Msg
+	invs      map[uint64]*invWait
+	zap       func(core int, line uint64) // SC-IDEAL instant invalidation
+	fillRetry timing.Queue[uint64]
+
+	lastTick timing.Cycle
+}
+
+// NewL2 builds partition part. For SC-IDEAL (ideal=true), zap must
+// invalidate the given core's copy instantly.
+func NewL2(cfg config.Config, part int, ideal bool, port coherence.Port, st *stats.Run, dram *mem.DRAM, backing *mem.Backing, zap func(core int, line uint64)) *L2 {
+	return &L2{
+		cfg:    cfg,
+		part:   part,
+		nodeID: coherence.L2NodeID(part, cfg.NumSMs),
+		ideal:  ideal,
+		port:   port,
+		st:     st,
+		tags: mem.NewArray[l2Line](cfg.L2SetsPerPart, cfg.L2Ways, func(l uint64) int {
+			return coherence.L2SetIndex(l, cfg.L2Partitions, cfg.L2SetsPerPart)
+		}),
+		mshrs:   mem.NewMSHRs[l2MSHR](cfg.L2MSHRs),
+		dram:    dram,
+		backing: backing,
+		invs:    make(map[uint64]*invWait),
+		zap:     zap,
+	}
+}
+
+// Deliver implements coherence.L2. Directory-maintenance messages (PutS,
+// InvAck) travel on their own virtual network and are serviced by the
+// directory's state-update port, separate from the demand pipeline.
+func (c *L2) Deliver(m *coherence.Msg) {
+	at := c.lastTick + timing.Cycle(c.cfg.L2Latency)
+	if m.Type == coherence.PutS || m.Type == coherence.InvAck {
+		c.mpipe.Push(at, m)
+		return
+	}
+	c.pipe.Push(at, m)
+}
+
+// Tick implements coherence.L2.
+func (c *L2) Tick(now timing.Cycle) bool {
+	c.lastTick = now
+	did := false
+	if c.dram.Tick(now) {
+		did = true
+	}
+	for {
+		req, ok := c.dram.PopDone(now)
+		if !ok {
+			break
+		}
+		c.fill(req, now)
+		did = true
+	}
+	for {
+		line, ok := c.fillRetry.PopReady(now)
+		if !ok {
+			break
+		}
+		c.fill(mem.DRAMReq{Line: line}, now)
+		did = true
+	}
+	// Maintenance port: up to two directory state updates per cycle.
+	for i := 0; i < 2; i++ {
+		m, ok := c.mpipe.PopReady(now)
+		if !ok {
+			break
+		}
+		c.handle(m, now)
+		did = true
+	}
+	if len(c.deferred) > 0 {
+		m := c.deferred[0]
+		if c.handle(m, now) {
+			c.deferred = c.deferred[1:]
+			did = true
+		}
+		return did
+	}
+	if m, ok := c.pipe.PopReady(now); ok {
+		if !c.handle(m, now) {
+			c.deferred = append(c.deferred, m)
+		}
+		did = true
+	}
+	return did
+}
+
+func (c *L2) handle(m *coherence.Msg, now timing.Cycle) bool {
+	if m.Type == coherence.InvAck {
+		c.ack(m)
+		return true
+	}
+	if m.Type == coherence.PutS {
+		// Directory update for an L1 eviction: clear the sharer bit.
+		if e := c.tags.Lookup(m.Line); e != nil {
+			e.Meta.Sharers &^= 1 << uint(m.Src)
+		}
+		c.port.Send(&coherence.Msg{
+			Type: coherence.WBAck,
+			Line: m.Line,
+			Src:  c.nodeID,
+			Dst:  m.Src,
+		}, now)
+		return true
+	}
+	if w, ok := c.invs[m.Line]; ok {
+		// An invalidation round owns the line; queue behind it.
+		w.queued = append(w.queued, m)
+		return true
+	}
+	e := c.tags.Lookup(m.Line)
+	if e != nil {
+		c.st.L2Accesses++
+		switch m.Type {
+		case coherence.GetS:
+			c.getsHit(m, e, now)
+		case coherence.Write, coherence.AtomicReq:
+			c.writeHit(m, e, now)
+		}
+		return true
+	}
+	return c.miss(m, now)
+}
+
+func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
+	e.Meta.Sharers |= 1 << uint(m.Src)
+	c.tags.Touch(e)
+	c.port.Send(&coherence.Msg{
+		Type: coherence.Data,
+		Line: m.Line,
+		Src:  c.nodeID,
+		Dst:  m.Src,
+		Val:  e.Meta.Val,
+	}, now)
+}
+
+func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
+	sharers := e.Meta.Sharers &^ (1 << uint(m.Src)) // writer self-invalidated
+	if sharers == 0 || c.ideal {
+		if c.ideal && sharers != 0 {
+			// Instant, free invalidation of every sharer.
+			for core := 0; core < c.cfg.NumSMs; core++ {
+				if sharers&(1<<uint(core)) != 0 {
+					c.zap(core, m.Line)
+				}
+			}
+		}
+		e.Meta.Sharers = 0
+		c.performWrite(m, &e.Meta, now)
+		c.tags.Touch(e)
+		return
+	}
+	// Invalidate every sharer; the write completes when all ack.
+	w := &invWait{write: m}
+	c.invs[m.Line] = w
+	for core := 0; core < c.cfg.NumSMs; core++ {
+		if sharers&(1<<uint(core)) != 0 {
+			w.pending++
+			c.port.Send(&coherence.Msg{
+				Type: coherence.Inv,
+				Line: m.Line,
+				Src:  c.nodeID,
+				Dst:  core,
+			}, now)
+		}
+	}
+	e.Meta.Sharers = 0
+}
+
+func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
+	old := l.Val
+	if m.Type == coherence.AtomicReq {
+		l.Val = old + m.Val
+	} else {
+		l.Val = m.Val
+	}
+	l.Dirty = true
+	resp := &coherence.Msg{
+		Type:  coherence.Ack,
+		Line:  m.Line,
+		Src:   c.nodeID,
+		Dst:   m.Src,
+		ReqID: m.ReqID,
+		Warp:  m.Warp,
+	}
+	if m.Type == coherence.AtomicReq {
+		resp.Type = coherence.Data
+		resp.Atomic = true
+		resp.Val = old
+	}
+	c.port.Send(resp, now)
+}
+
+// ack processes one INVACK.
+func (c *L2) ack(m *coherence.Msg) {
+	w, ok := c.invs[m.Line]
+	if !ok {
+		return
+	}
+	w.pending--
+	if w.pending > 0 {
+		return
+	}
+	delete(c.invs, m.Line)
+	now := c.lastTick
+	if w.write != nil {
+		if e := c.tags.Lookup(m.Line); e != nil {
+			c.st.L2Accesses++
+			c.performWrite(w.write, &e.Meta, now)
+			c.tags.Touch(e)
+		} else if !c.handle(w.write, now) {
+			c.deferred = append(c.deferred, w.write)
+		}
+	}
+	// Recall rounds (write == nil) leave the line clean of sharers; the
+	// stalled fill retries and can now evict it.
+	for _, q := range w.queued {
+		if !c.handle(q, now) {
+			c.deferred = append(c.deferred, q)
+		}
+	}
+}
+
+func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
+	c.st.L2Accesses++
+	mshr := c.mshrs.Get(m.Line)
+	if mshr == nil {
+		c.st.L2Misses++
+		mshr = c.mshrs.Alloc(m.Line)
+		if mshr == nil {
+			c.st.L2Accesses--
+			c.st.L2Misses--
+			return false
+		}
+		c.dram.Submit(mem.DRAMReq{Line: m.Line, ID: m.Line}, now)
+	}
+	switch m.Type {
+	case coherence.GetS:
+		mshr.readers = append(mshr.readers, m)
+	case coherence.Write:
+		// An absent block has no sharers (recalls keep the L1s within
+		// the directory's reach), so the write is globally visible the
+		// moment it is ordered here: merge it and ack immediately.
+		mshr.writeVal = m.Val
+		mshr.hasWrite = true
+		c.port.Send(&coherence.Msg{
+			Type:  coherence.Ack,
+			Line:  m.Line,
+			Src:   c.nodeID,
+			Dst:   m.Src,
+			ReqID: m.ReqID,
+			Warp:  m.Warp,
+		}, now)
+	default:
+		mshr.stalled = append(mshr.stalled, m) // atomics need the old value
+	}
+	return true
+}
+
+// fill installs a DRAM fetch. A victim still cached by L1s must be
+// recalled: its copies are invalidated and, until every ack returns, the
+// victim's address is owned by the invalidation round (any request for it
+// queues). These recall rounds are a significant MESI cost on GPUs.
+func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
+	if req.Write {
+		return
+	}
+	line := req.Line
+	mshr := c.mshrs.Get(line)
+	if mshr == nil {
+		return
+	}
+	e, victim, ok := c.tags.Allocate(line, func(v *mem.Entry[l2Line]) bool {
+		if c.mshrs.Get(v.Tag) != nil {
+			return false
+		}
+		_, busy := c.invs[v.Tag]
+		return !busy
+	})
+	if !ok {
+		// Every way is mid-transaction; retry shortly.
+		c.fillRetry.Push(now+8, line)
+		return
+	}
+	if victim.WasValid {
+		c.st.L2Evictions++
+		if victim.Meta.Sharers != 0 {
+			c.recall(victim.Tag, victim.Meta.Sharers, now)
+		}
+		if victim.Meta.Dirty {
+			c.backing.Write(victim.Tag, victim.Meta.Val)
+			c.dram.Submit(mem.DRAMReq{Line: victim.Tag, Write: true, ID: victim.Tag}, now)
+		}
+	}
+
+	l := &e.Meta
+	l.Val = c.backing.Read(line)
+	if mshr.hasWrite {
+		l.Val = mshr.writeVal
+		l.Dirty = true
+	}
+	for _, r := range mshr.readers {
+		l.Sharers |= 1 << uint(r.Src)
+		c.port.Send(&coherence.Msg{
+			Type: coherence.Data,
+			Line: line,
+			Src:  c.nodeID,
+			Dst:  r.Src,
+			Val:  l.Val,
+		}, now)
+	}
+	stalled := mshr.stalled
+	c.mshrs.Free(line)
+	for _, s := range stalled {
+		if !c.handle(s, now) {
+			c.deferred = append(c.deferred, s)
+		}
+	}
+}
+
+// recall invalidates every L1 copy of an evicted block; until the acks
+// return, the address belongs to the invalidation round.
+func (c *L2) recall(line, sharers uint64, now timing.Cycle) {
+	c.st.Recalls++
+	if c.ideal {
+		for core := 0; core < c.cfg.NumSMs; core++ {
+			if sharers&(1<<uint(core)) != 0 {
+				c.zap(core, line)
+			}
+		}
+		return
+	}
+	w := &invWait{}
+	c.invs[line] = w
+	for core := 0; core < c.cfg.NumSMs; core++ {
+		if sharers&(1<<uint(core)) != 0 {
+			w.pending++
+			c.port.Send(&coherence.Msg{
+				Type: coherence.Inv,
+				Line: line,
+				Src:  c.nodeID,
+				Dst:  core,
+			}, now)
+		}
+	}
+}
+
+// NextEvent implements coherence.L2.
+func (c *L2) NextEvent(now timing.Cycle) timing.Cycle {
+	next := timing.Min(c.dram.NextEvent(), c.pipe.NextReady())
+	next = timing.Min(next, c.mpipe.NextReady())
+	next = timing.Min(next, c.fillRetry.NextReady())
+	if len(c.deferred) > 0 {
+		next = timing.Min(next, now+1)
+	}
+	return next
+}
+
+// Drained implements coherence.L2.
+func (c *L2) Drained() bool {
+	return c.pipe.Len() == 0 && c.mpipe.Len() == 0 && len(c.deferred) == 0 &&
+		len(c.invs) == 0 && c.mshrs.Len() == 0 && c.dram.Pending() == 0 &&
+		c.fillRetry.Len() == 0
+}
+
+// SetSink wires the completion path to the SM (set once at machine build;
+// the SM and L1 reference each other).
+func (c *L1) SetSink(s coherence.Sink) { c.sink = s }

@@ -1,0 +1,624 @@
+// Package tc implements the TC-Strong and TC-Weak GPU coherence protocols
+// of Singh et al. (HPCA 2013), the paper's timestamp baselines. Both grant
+// fixed-duration read leases in *physical* time from a globally
+// synchronized counter (the simulation cycle count):
+//
+//   - TC-Strong (TCS) supports SC: a store to a block with unexpired
+//     leases stalls at the L2 until the last lease expires, so that the
+//     ack implies global visibility.
+//   - TC-Weak (TCW) acks stores immediately but returns the Global Write
+//     Completion Time (GWCT); FENCE instructions stall the warp until the
+//     maximum GWCT it has accumulated has passed. TCW cannot support SC.
+package tc
+
+import (
+	"rccsim/internal/coherence"
+	"rccsim/internal/config"
+	"rccsim/internal/mem"
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+)
+
+// l1Line is the per-line L1 metadata: physical lease end and value.
+type l1Line struct {
+	Lease timing.Cycle
+	Val   uint64
+}
+
+// l1MSHR tracks outstanding transactions for one line.
+type l1MSHR struct {
+	getsOut bool
+	loads   []*coherence.Request
+	stores  []*coherence.Request
+}
+
+// L1 is the TC private-cache controller (write-through, write-no-allocate).
+type L1 struct {
+	cfg  config.Config
+	id   int
+	weak bool // TCW
+	port coherence.Port
+	sink coherence.Sink
+	st   *stats.Run
+
+	tags  *mem.Array[l1Line]
+	mshrs *mem.MSHRs[l1MSHR]
+	inbox []*coherence.Msg
+
+	// TCW: per-warp maximum GWCT, consulted by fences.
+	gwct []timing.Cycle
+}
+
+// NewL1 builds the controller; weak selects TC-Weak semantics.
+func NewL1(cfg config.Config, id int, weak bool, port coherence.Port, sink coherence.Sink, st *stats.Run) *L1 {
+	return &L1{
+		cfg:  cfg,
+		id:   id,
+		weak: weak,
+		port: port,
+		sink: sink,
+		st:   st,
+		tags: mem.NewArray[l1Line](cfg.L1Sets, cfg.L1Ways, func(l uint64) int {
+			return coherence.L1SetIndex(l, cfg.L1Sets)
+		}),
+		mshrs: mem.NewMSHRs[l1MSHR](cfg.L1MSHRs),
+		gwct:  make([]timing.Cycle, cfg.WarpsPerSM),
+	}
+}
+
+func (c *L1) l2node(line uint64) int {
+	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
+}
+
+func (c *L1) readable(e *mem.Entry[l1Line], now timing.Cycle) bool {
+	return e != nil && now <= e.Meta.Lease
+}
+
+// Access implements coherence.L1.
+func (c *L1) Access(r *coherence.Request, now timing.Cycle) bool {
+	switch r.Class {
+	case stats.OpLoad:
+		return c.load(r, now)
+	default:
+		return c.write(r, now)
+	}
+}
+
+func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
+	c.st.L1Loads++
+	e := c.tags.Lookup(r.Line)
+
+	if m := c.mshrs.Get(r.Line); m != nil {
+		if c.readable(e, now) {
+			c.st.L1LoadHits++
+			r.Data = e.Meta.Val
+			c.sink.MemDone(r, now)
+			return true
+		}
+		m.loads = append(m.loads, r)
+		if !m.getsOut {
+			c.sendGets(r.Line, now)
+			m.getsOut = true
+		}
+		return true
+	}
+
+	if c.readable(e, now) {
+		c.st.L1LoadHits++
+		c.tags.Touch(e)
+		r.Data = e.Meta.Val
+		c.sink.MemDone(r, now)
+		return true
+	}
+	if e != nil {
+		c.st.L1LoadExpired++ // self-invalidated lease; TC has no renewal
+	} else {
+		c.st.L1LoadMisses++
+	}
+
+	m := c.mshrs.Alloc(r.Line)
+	if m == nil {
+		c.st.L1Loads--
+		if e == nil {
+			c.st.L1LoadMisses--
+		} else {
+			c.st.L1LoadExpired--
+		}
+		return false
+	}
+	m.getsOut = true
+	m.loads = append(m.loads, r)
+	c.sendGets(r.Line, now)
+	return true
+}
+
+func (c *L1) sendGets(line uint64, now timing.Cycle) {
+	c.port.Send(&coherence.Msg{
+		Type: coherence.GetS,
+		Line: line,
+		Src:  c.id,
+		Dst:  c.l2node(line),
+		Now:  uint64(now),
+	}, now)
+}
+
+func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
+	m := c.mshrs.Get(r.Line)
+	if m == nil {
+		m = c.mshrs.Alloc(r.Line)
+		if m == nil {
+			return false
+		}
+	}
+	if r.Class == stats.OpStore {
+		c.st.L1Stores++
+	}
+	m.stores = append(m.stores, r)
+	typ := coherence.Write
+	atomic := false
+	if r.Class == stats.OpAtomic {
+		typ = coherence.AtomicReq
+		atomic = true
+	}
+	c.port.Send(&coherence.Msg{
+		Type:   typ,
+		Line:   r.Line,
+		Src:    c.id,
+		Dst:    c.l2node(r.Line),
+		ReqID:  r.ID,
+		Warp:   r.Warp,
+		Now:    uint64(now),
+		Val:    r.Val,
+		Atomic: atomic,
+	}, now)
+	return true
+}
+
+// Deliver implements coherence.L1.
+func (c *L1) Deliver(m *coherence.Msg) { c.inbox = append(c.inbox, m) }
+
+// Tick implements coherence.L1.
+func (c *L1) Tick(now timing.Cycle) bool {
+	did := false
+	for len(c.inbox) > 0 {
+		m := c.inbox[0]
+		c.inbox = c.inbox[1:]
+		c.handle(m, now)
+		did = true
+	}
+	return did
+}
+
+func (c *L1) handle(m *coherence.Msg, now timing.Cycle) {
+	switch m.Type {
+	case coherence.Data:
+		if m.Atomic {
+			c.finishStore(m, m.Val, now)
+			return
+		}
+		c.handleData(m, now)
+	case coherence.Ack:
+		c.finishStore(m, 0, now)
+	default:
+		panic("tc l1: unexpected message " + m.Type.String())
+	}
+}
+
+func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
+	e, victim, ok := c.tags.Allocate(m.Line, func(v *mem.Entry[l1Line]) bool {
+		return c.mshrs.Get(v.Tag) == nil
+	})
+	if ok {
+		if victim.WasValid {
+			c.st.L1Evictions++
+		}
+		e.Meta.Lease = timing.Cycle(m.Exp)
+		e.Meta.Val = m.Val
+	}
+	mshr := c.mshrs.Get(m.Line)
+	if mshr == nil {
+		return
+	}
+	mshr.getsOut = false
+	for _, r := range mshr.loads {
+		r.Data = m.Val
+		c.sink.MemDone(r, now)
+	}
+	mshr.loads = mshr.loads[:0]
+	if len(mshr.stores) == 0 {
+		c.mshrs.Free(m.Line)
+	}
+}
+
+// finishStore completes a store/atomic. In TCW the ack carries the GWCT,
+// which accumulates per warp for fences; the local copy is invalidated
+// (the write went around it).
+func (c *L1) finishStore(m *coherence.Msg, data uint64, now timing.Cycle) {
+	if c.weak && m.Exp > uint64(now) {
+		w := m.Warp
+		if timing.Cycle(m.Exp) > c.gwct[w] {
+			c.gwct[w] = timing.Cycle(m.Exp)
+		}
+	}
+	if e := c.tags.Lookup(m.Line); e != nil {
+		c.tags.Invalidate(e)
+	}
+	mshr := c.mshrs.Get(m.Line)
+	if mshr == nil {
+		return
+	}
+	for i, r := range mshr.stores {
+		if r.ID == m.ReqID {
+			mshr.stores = append(mshr.stores[:i], mshr.stores[i+1:]...)
+			r.Data = data
+			c.sink.MemDone(r, now)
+			break
+		}
+	}
+	if mshr.empty() {
+		c.mshrs.Free(m.Line)
+	}
+}
+
+func (m *l1MSHR) empty() bool { return len(m.loads) == 0 && len(m.stores) == 0 }
+
+// NextEvent implements coherence.L1.
+func (c *L1) NextEvent(now timing.Cycle) timing.Cycle {
+	if len(c.inbox) > 0 {
+		return now
+	}
+	return timing.Never
+}
+
+// FenceReadyAt implements coherence.L1: TCW fences wait for the warp's
+// maximum GWCT; TCS fences are no-ops (SC cores never reorder).
+func (c *L1) FenceReadyAt(warp int, now timing.Cycle) timing.Cycle {
+	if !c.weak {
+		return now
+	}
+	return timing.Max(now, c.gwct[warp])
+}
+
+// FenceComplete implements coherence.L1.
+func (c *L1) FenceComplete(warp int, now timing.Cycle) {
+	if c.weak {
+		c.gwct[warp] = 0
+	}
+}
+
+// Drained implements coherence.L1.
+func (c *L1) Drained() bool { return len(c.inbox) == 0 && c.mshrs.Len() == 0 }
+
+// l2Line is the per-block L2 metadata: the latest granted lease end (the
+// "global timestamp"), the value, and the dirty bit.
+type l2Line struct {
+	GTS   timing.Cycle
+	Val   uint64
+	Dirty bool
+}
+
+// l2MSHR is one outstanding DRAM fill.
+type l2MSHR struct {
+	readers  []*coherence.Msg
+	writeVal uint64
+	hasWrite bool
+	stalled  []*coherence.Msg // atomics deferred to fill completion
+}
+
+// L2 is one TC shared-cache partition.
+type L2 struct {
+	cfg    config.Config
+	part   int
+	nodeID int
+	weak   bool
+	port   coherence.Port
+	st     *stats.Run
+
+	tags    *mem.Array[l2Line]
+	mshrs   *mem.MSHRs[l2MSHR]
+	dram    *mem.DRAM
+	backing *mem.Backing
+
+	pipe     timing.Queue[*coherence.Msg]
+	deferred []*coherence.Msg
+
+	// TCS: stores waiting for lease expiry, plus per-line FIFO of
+	// requests queued behind a stalled store (prevents starvation and
+	// preserves the ordering point).
+	stallQ  timing.Queue[*coherence.Msg]
+	blocked map[uint64][]*coherence.Msg
+
+	lastTick timing.Cycle
+}
+
+// NewL2 builds partition part; weak selects TC-Weak.
+func NewL2(cfg config.Config, part int, weak bool, port coherence.Port, st *stats.Run, dram *mem.DRAM, backing *mem.Backing) *L2 {
+	return &L2{
+		cfg:    cfg,
+		part:   part,
+		nodeID: coherence.L2NodeID(part, cfg.NumSMs),
+		weak:   weak,
+		port:   port,
+		st:     st,
+		tags: mem.NewArray[l2Line](cfg.L2SetsPerPart, cfg.L2Ways, func(l uint64) int {
+			return coherence.L2SetIndex(l, cfg.L2Partitions, cfg.L2SetsPerPart)
+		}),
+		mshrs:   mem.NewMSHRs[l2MSHR](cfg.L2MSHRs),
+		dram:    dram,
+		backing: backing,
+		blocked: make(map[uint64][]*coherence.Msg),
+	}
+}
+
+// Deliver implements coherence.L2.
+func (c *L2) Deliver(m *coherence.Msg) {
+	c.pipe.Push(c.lastTick+timing.Cycle(c.cfg.L2Latency), m)
+}
+
+// Tick implements coherence.L2.
+func (c *L2) Tick(now timing.Cycle) bool {
+	c.lastTick = now
+	did := false
+
+	if c.dram.Tick(now) {
+		did = true
+	}
+	for {
+		req, ok := c.dram.PopDone(now)
+		if !ok {
+			break
+		}
+		c.fill(req, now)
+		did = true
+	}
+
+	// Wake stores whose lease wait ended (TCS).
+	for {
+		m, ok := c.stallQ.PopReady(now)
+		if !ok {
+			break
+		}
+		c.wakeStalledStore(m, now)
+		did = true
+	}
+
+	if len(c.deferred) > 0 {
+		m := c.deferred[0]
+		if c.handle(m, now) {
+			c.deferred = c.deferred[1:]
+			did = true
+		}
+		return did
+	}
+
+	if m, ok := c.pipe.PopReady(now); ok {
+		if !c.handle(m, now) {
+			c.deferred = append(c.deferred, m)
+		}
+		did = true
+	}
+	return did
+}
+
+// handle processes one request; false means "defer and retry".
+func (c *L2) handle(m *coherence.Msg, now timing.Cycle) bool {
+	// Requests for a line with a stalled store queue behind it in
+	// arrival order: the stalled store is the ordering point.
+	if q, ok := c.blocked[m.Line]; ok {
+		c.blocked[m.Line] = append(q, m)
+		return true
+	}
+	e := c.tags.Lookup(m.Line)
+	if e != nil {
+		c.st.L2Accesses++
+		switch m.Type {
+		case coherence.GetS:
+			c.getsHit(m, e, now)
+		case coherence.Write, coherence.AtomicReq:
+			c.writeHit(m, e, now)
+		}
+		return true
+	}
+	return c.miss(m, now)
+}
+
+func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
+	l := &e.Meta
+	lease := now + timing.Cycle(c.cfg.TCLease)
+	if lease > l.GTS {
+		l.GTS = lease
+	}
+	c.tags.Touch(e)
+	if m.Exp > 0 {
+		c.st.ExpiredGets++ // tracked for Fig 6 comparability
+	}
+	c.port.Send(&coherence.Msg{
+		Type: coherence.Data,
+		Line: m.Line,
+		Src:  c.nodeID,
+		Dst:  m.Src,
+		Exp:  uint64(lease),
+		Val:  l.Val,
+	}, now)
+}
+
+// writeHit performs or stalls a store/atomic on a resident block. TCS
+// stalls until the latest lease expires; TCW completes immediately and
+// reports the GWCT.
+func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
+	l := &e.Meta
+	if !c.weak && l.GTS >= now {
+		// TC-Strong: wait out the lease.
+		c.st.L2StoreStallCycles += uint64(l.GTS + 1 - now)
+		c.blocked[m.Line] = []*coherence.Msg{}
+		c.stallQ.Push(l.GTS+1, m)
+		return
+	}
+	c.performWrite(m, l, now)
+	c.tags.Touch(e)
+}
+
+func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
+	old := l.Val
+	if m.Type == coherence.AtomicReq {
+		l.Val = old + m.Val
+	} else {
+		l.Val = m.Val
+	}
+	l.Dirty = true
+	gwct := uint64(now)
+	if uint64(l.GTS) > gwct {
+		gwct = uint64(l.GTS)
+	}
+	resp := &coherence.Msg{
+		Type:  coherence.Ack,
+		Line:  m.Line,
+		Src:   c.nodeID,
+		Dst:   m.Src,
+		ReqID: m.ReqID,
+		Warp:  m.Warp,
+		Exp:   gwct,
+	}
+	if m.Type == coherence.AtomicReq {
+		resp.Type = coherence.Data
+		resp.Atomic = true
+		resp.Val = old
+	}
+	c.port.Send(resp, now)
+}
+
+// wakeStalledStore completes a TCS store whose lease wait ended, then
+// replays everything that queued behind it.
+func (c *L2) wakeStalledStore(m *coherence.Msg, now timing.Cycle) {
+	queued := c.blocked[m.Line]
+	delete(c.blocked, m.Line)
+	e := c.tags.Lookup(m.Line)
+	if e == nil {
+		// Evicted while stalled (cannot happen: unexpired blocks are
+		// pinned); be safe and reprocess from scratch.
+		if !c.handle(m, now) {
+			c.deferred = append(c.deferred, m)
+		}
+	} else {
+		c.st.L2Accesses++
+		c.performWrite(m, &e.Meta, now)
+		c.tags.Touch(e)
+	}
+	for _, q := range queued {
+		if !c.handle(q, now) {
+			c.deferred = append(c.deferred, q)
+		}
+	}
+}
+
+func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
+	c.st.L2Accesses++
+	mshr := c.mshrs.Get(m.Line)
+	if mshr == nil {
+		c.st.L2Misses++
+		mshr = c.mshrs.Alloc(m.Line)
+		if mshr == nil {
+			c.st.L2Accesses--
+			c.st.L2Misses--
+			return false
+		}
+		c.dram.Submit(mem.DRAMReq{Line: m.Line, ID: m.Line}, now)
+	}
+	switch m.Type {
+	case coherence.GetS:
+		mshr.readers = append(mshr.readers, m)
+	case coherence.Write:
+		// No outstanding leases for an absent block: the write is
+		// globally visible once ordered here; ack immediately.
+		mshr.writeVal = m.Val
+		mshr.hasWrite = true
+		c.port.Send(&coherence.Msg{
+			Type:  coherence.Ack,
+			Line:  m.Line,
+			Src:   c.nodeID,
+			Dst:   m.Src,
+			ReqID: m.ReqID,
+			Warp:  m.Warp,
+			Exp:   uint64(now),
+		}, now)
+	case coherence.AtomicReq:
+		mshr.stalled = append(mshr.stalled, m)
+	}
+	return true
+}
+
+// fill installs a DRAM fetch. Eviction must pick an expired victim: TC
+// pins unexpired blocks (the paper notes Singh et al. hold them in MSHRs);
+// if none is available the fill retries, modeling that cost.
+func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
+	if req.Write {
+		return
+	}
+	line := req.Line
+	mshr := c.mshrs.Get(line)
+	if mshr == nil {
+		return
+	}
+	e, victim, ok := c.tags.Allocate(line, func(v *mem.Entry[l2Line]) bool {
+		return v.Meta.GTS < now && c.mshrs.Get(v.Tag) == nil
+	})
+	if !ok {
+		// All ways hold live leases; retry when the earliest expires.
+		c.dram.Submit(mem.DRAMReq{Line: line, ID: line}, now)
+		return
+	}
+	if victim.WasValid {
+		c.st.L2Evictions++
+		if victim.Meta.Dirty {
+			c.backing.Write(victim.Tag, victim.Meta.Val)
+			c.dram.Submit(mem.DRAMReq{Line: victim.Tag, Write: true, ID: victim.Tag}, now)
+		}
+	}
+	l := &e.Meta
+	l.Val = c.backing.Read(line)
+	if mshr.hasWrite {
+		l.Val = mshr.writeVal
+		l.Dirty = true
+	}
+	if len(mshr.readers) > 0 {
+		lease := now + timing.Cycle(c.cfg.TCLease)
+		l.GTS = lease
+		for _, r := range mshr.readers {
+			c.port.Send(&coherence.Msg{
+				Type: coherence.Data,
+				Line: line,
+				Src:  c.nodeID,
+				Dst:  r.Src,
+				Exp:  uint64(lease),
+				Val:  l.Val,
+			}, now)
+		}
+	}
+	stalled := mshr.stalled
+	c.mshrs.Free(line)
+	for _, s := range stalled {
+		if !c.handle(s, now) {
+			c.deferred = append(c.deferred, s)
+		}
+	}
+}
+
+// NextEvent implements coherence.L2.
+func (c *L2) NextEvent(now timing.Cycle) timing.Cycle {
+	next := timing.Min(c.dram.NextEvent(), c.pipe.NextReady())
+	next = timing.Min(next, c.stallQ.NextReady())
+	if len(c.deferred) > 0 {
+		next = timing.Min(next, now+1)
+	}
+	return next
+}
+
+// Drained implements coherence.L2.
+func (c *L2) Drained() bool {
+	return c.pipe.Len() == 0 && len(c.deferred) == 0 && c.stallQ.Len() == 0 &&
+		len(c.blocked) == 0 && c.mshrs.Len() == 0 && c.dram.Pending() == 0
+}
+
+// SetSink wires the completion path to the SM (set once at machine build;
+// the SM and L1 reference each other).
+func (c *L1) SetSink(s coherence.Sink) { c.sink = s }

@@ -1,0 +1,84 @@
+// Package core implements Relativistic Cache Coherence (RCC), the paper's
+// contribution: a two-stable-state GPU coherence protocol that maintains
+// sequential consistency in logical time. Each core carries a logical
+// clock; the L2 tracks a version (last logical write time) and a lease
+// expiration per block; stores acquire write permissions instantly by
+// advancing logical clocks (Sec. III).
+package core
+
+// Clock is one core's logical time. In the SC variant there is a single
+// "now"; the weakly ordered variant (RCC-WO, Sec. III-F) keeps separate
+// read and write views that FENCE instructions merge.
+type Clock struct {
+	wo    bool
+	read  uint64
+	write uint64
+}
+
+// NewClock returns a logical clock; wo selects the RCC-WO split-view mode.
+func NewClock(wo bool) *Clock { return &Clock{wo: wo} }
+
+// ReadNow returns the logical time used by loads (lease-validity checks and
+// GETS requests).
+func (c *Clock) ReadNow() uint64 { return c.read }
+
+// WriteNow returns the logical time carried by WRITE/ATOMIC requests.
+func (c *Clock) WriteNow() uint64 { return c.write }
+
+// Now returns the unified logical time; valid only in SC mode where the
+// views are always equal.
+func (c *Clock) Now() uint64 { return c.read }
+
+// AdvanceRead applies rule 1 (Sec. III-A): a core reading block B with
+// B.ver > now must advance past the version it observed.
+func (c *Clock) AdvanceRead(v uint64) {
+	if v > c.read {
+		c.read = v
+	}
+	if !c.wo && v > c.write {
+		c.write = v
+	}
+}
+
+// AdvanceWrite applies rules 2–3: a store ack carries the logical write
+// time; the writing core advances to it.
+func (c *Clock) AdvanceWrite(v uint64) {
+	if v > c.write {
+		c.write = v
+	}
+	if !c.wo && v > c.read {
+		c.read = v
+	}
+}
+
+// TickLivelock bumps both views by one; called periodically so that pure
+// readers eventually observe new versions (Sec. III-E, "Potential
+// livelock").
+func (c *Clock) TickLivelock() {
+	c.read++
+	c.write++
+}
+
+// Merge sets both views to the larger one — the RCC-WO fence operation.
+func (c *Clock) Merge() {
+	m := c.read
+	if c.write > m {
+		m = c.write
+	}
+	c.read = m
+	c.write = m
+}
+
+// Reset zeroes the clock (timestamp rollover).
+func (c *Clock) Reset() {
+	c.read = 0
+	c.write = 0
+}
+
+// maxU returns the larger of two logical times.
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"testing"
+
+	"rccsim/internal/coherence"
+	"rccsim/internal/config"
+	"rccsim/internal/mem"
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+)
+
+// These tests transcribe the L2 state-transition table of Fig. 5 (right
+// side) cell by cell, driving the controller with hand-built messages and
+// asserting the timestamp updates and reply contents the table specifies.
+// The L1 side is covered transition-by-transition in fsm_test.go.
+
+// l2rig is a bare L2 with a message-capturing port and instant DRAM
+// draining helpers.
+type l2rig struct {
+	cfg  config.Config
+	st   *stats.Run
+	l2   *L2
+	sent []*coherence.Msg
+	now  timing.Cycle
+}
+
+func (r *l2rig) Send(m *coherence.Msg, now timing.Cycle) { r.sent = append(r.sent, m) }
+
+func newL2Rig(t *testing.T, lease uint64) *l2rig {
+	t.Helper()
+	cfg := config.Small()
+	cfg.NumSMs = 2
+	cfg.L2Partitions = 1
+	cfg.RCCPredictor = false
+	cfg.RCCFixedLease = lease
+	r := &l2rig{cfg: cfg, st: stats.New()}
+	r.l2 = NewL2(cfg, 0, r, r.st, mem.NewDRAM(cfg, r.st), mem.NewBacking(), nil)
+	return r
+}
+
+// tick pumps the L2 n cycles.
+func (r *l2rig) tick(n int) {
+	for i := 0; i < n; i++ {
+		r.l2.Tick(r.now)
+		r.now++
+	}
+}
+
+// deliver injects a message and pumps past the pipeline latency.
+func (r *l2rig) deliver(m *coherence.Msg) {
+	r.l2.Deliver(m)
+	r.tick(int(r.cfg.L2Latency) + 3)
+}
+
+// drain pumps until the L2 has no pending work.
+func (r *l2rig) drain(t *testing.T) {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		if r.l2.Drained() {
+			return
+		}
+		r.l2.Tick(r.now)
+		r.now++
+	}
+	t.Fatal("L2 did not drain")
+}
+
+// lastOf returns the most recent sent message of the given type.
+func (r *l2rig) lastOf(ty coherence.MsgType) *coherence.Msg {
+	for i := len(r.sent) - 1; i >= 0; i-- {
+		if r.sent[i].Type == ty {
+			return r.sent[i]
+		}
+	}
+	return nil
+}
+
+// TestFig5L2VGetS: V-state GETS row — D.exp = max(D.exp, D.ver+lease,
+// M.now+lease); DATA{exp, ver} when the requester's copy is stale.
+func TestFig5L2VGetS(t *testing.T) {
+	r := newL2Rig(t, 10)
+	r.l2.Seed(1, 30, 12, 99) // ver=30, exp=12
+	r.deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 0, Dst: 2, Now: 50, Exp: 0})
+	m := r.lastOf(coherence.Data)
+	if m == nil {
+		t.Fatal("no DATA reply")
+	}
+	// max(12, 30+10, 50+10) = 60.
+	if m.Exp != 60 || m.Ver != 30 || m.Val != 99 {
+		t.Fatalf("DATA{exp=%d ver=%d val=%d}, want {60,30,99}", m.Exp, m.Ver, m.Val)
+	}
+	if got := r.l2.Meta(1); got.Exp != 60 {
+		t.Fatalf("D.exp = %d, want 60", got.Exp)
+	}
+}
+
+// TestFig5L2VGetSRenew: same row, M.exp > D.ver — RENEW{exp=D.exp}, no
+// data payload.
+func TestFig5L2VGetSRenew(t *testing.T) {
+	r := newL2Rig(t, 10)
+	r.l2.Seed(1, 30, 42, 99)
+	r.deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 0, Dst: 2, Now: 45, Exp: 42})
+	if r.lastOf(coherence.Data) != nil {
+		t.Fatal("renewable GETS must not return data")
+	}
+	m := r.lastOf(coherence.Renew)
+	if m == nil {
+		t.Fatal("no RENEW reply")
+	}
+	// max(42, 30+10, 45+10) = 55.
+	if m.Exp != 55 {
+		t.Fatalf("RENEW exp = %d, want 55", m.Exp)
+	}
+	if r.st.ExpiredGets != 1 || r.st.ExpiredGetsRenewable != 1 {
+		t.Fatal("renewal opportunity not counted")
+	}
+}
+
+// TestFig5L2VWrite: V-state WRITE row — D.ver = max(M.now, D.ver,
+// D.exp+1); ACK{ver=D.ver}.
+func TestFig5L2VWrite(t *testing.T) {
+	cases := []struct {
+		ver, exp, now, wantVer uint64
+	}{
+		{ver: 30, exp: 12, now: 50, wantVer: 50}, // writer's clock newest
+		{ver: 30, exp: 40, now: 5, wantVer: 41},  // outstanding lease newest
+		{ver: 60, exp: 12, now: 5, wantVer: 60},  // unobserved store shares ver
+	}
+	for i, c := range cases {
+		r := newL2Rig(t, 10)
+		r.l2.Seed(1, c.ver, c.exp, 7)
+		r.deliver(&coherence.Msg{Type: coherence.Write, Line: 1, Src: 0, Dst: 2, Now: c.now, ReqID: 9, Val: 123})
+		m := r.lastOf(coherence.Ack)
+		if m == nil {
+			t.Fatalf("case %d: no ACK", i)
+		}
+		if m.Ver != c.wantVer || m.ReqID != 9 {
+			t.Fatalf("case %d: ACK ver=%d, want %d", i, m.Ver, c.wantVer)
+		}
+		got := r.l2.Meta(1)
+		if got.Ver != c.wantVer || got.Val != 123 || !got.Dirty {
+			t.Fatalf("case %d: line %+v", i, got)
+		}
+	}
+}
+
+// TestFig5L2VAtomic: V-state ATOMIC row — same version rule, DATA carries
+// the OLD value, line holds old+operand.
+func TestFig5L2VAtomic(t *testing.T) {
+	r := newL2Rig(t, 10)
+	r.l2.Seed(1, 30, 40, 7)
+	r.deliver(&coherence.Msg{Type: coherence.AtomicReq, Line: 1, Src: 0, Dst: 2, Now: 5, ReqID: 4, Val: 3, Atomic: true})
+	m := r.lastOf(coherence.Data)
+	if m == nil || !m.Atomic {
+		t.Fatal("no atomic DATA reply")
+	}
+	if m.Val != 7 || m.Ver != 41 {
+		t.Fatalf("atomic reply val=%d ver=%d, want 7, 41", m.Val, m.Ver)
+	}
+	if got := r.l2.Meta(1); got.Val != 10 {
+		t.Fatalf("line value = %d, want 10", got.Val)
+	}
+}
+
+// TestFig5L2IWrite: I-state WRITE row — DRAM fetch starts, lastwr=M.now,
+// the store is acked with ver = max(lastwr, mnow) before the fill.
+func TestFig5L2IWrite(t *testing.T) {
+	r := newL2Rig(t, 10)
+	r.deliver(&coherence.Msg{Type: coherence.Write, Line: 1, Src: 0, Dst: 2, Now: 33, ReqID: 5, Val: 77})
+	m := r.lastOf(coherence.Ack)
+	if m == nil {
+		t.Fatal("write miss not acked before fill")
+	}
+	if m.Ver != 33 { // max(33, mnow=0)
+		t.Fatalf("ACK ver = %d, want 33", m.Ver)
+	}
+	r.drain(t)
+	got := r.l2.Meta(1)
+	if got.Val != 77 || got.Ver != 33 || !got.Dirty {
+		t.Fatalf("fill result %+v", got)
+	}
+}
+
+// TestFig5L2IVGetSMerge: IV-state GETS row — lastrd accumulates; the fill
+// sends one DATA per reader with exp = max(ver+lease, lastrd+lease).
+func TestFig5L2IVGetSMerge(t *testing.T) {
+	r := newL2Rig(t, 10)
+	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 0, Dst: 2, Now: 20})
+	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 1, Dst: 2, Now: 35})
+	r.drain(t)
+	var datas []*coherence.Msg
+	for _, m := range r.sent {
+		if m.Type == coherence.Data {
+			datas = append(datas, m)
+		}
+	}
+	if len(datas) != 2 {
+		t.Fatalf("%d DATA replies, want 2", len(datas))
+	}
+	// lastrd = 35, ver = mnow = 0: exp = max(0, 0+10, 35+10) = 45.
+	for _, m := range datas {
+		if m.Exp != 45 || m.Ver != 0 {
+			t.Fatalf("fill DATA{exp=%d ver=%d}, want {45,0}", m.Exp, m.Ver)
+		}
+	}
+}
+
+// TestFig5L2IVWriteMerge: IV-state WRITE row — newest logical write wins
+// the merge; every write is acked.
+func TestFig5L2IVWriteMerge(t *testing.T) {
+	r := newL2Rig(t, 10)
+	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 0, Dst: 2, Now: 0})
+	r.l2.Deliver(&coherence.Msg{Type: coherence.Write, Line: 1, Src: 0, Dst: 2, Now: 50, ReqID: 1, Val: 500})
+	r.l2.Deliver(&coherence.Msg{Type: coherence.Write, Line: 1, Src: 1, Dst: 2, Now: 10, ReqID: 2, Val: 100})
+	r.drain(t)
+	acks := 0
+	for _, m := range r.sent {
+		if m.Type == coherence.Ack {
+			acks++
+			if m.Ver < 50 {
+				t.Fatalf("ACK ver %d below merged lastwr", m.Ver)
+			}
+		}
+	}
+	if acks != 2 {
+		t.Fatalf("acks = %d, want 2", acks)
+	}
+	if got := r.l2.Meta(1); got.Val != 500 || got.Ver != 50 {
+		t.Fatalf("merge result %+v, want val 500 ver 50", got)
+	}
+}
+
+// TestFig5L2EvictFoldsMnow: V-state evict row — mnow = max(mnow, D.exp,
+// D.ver); a refetched block is seeded from mnow so stale leases die.
+func TestFig5L2EvictFoldsMnow(t *testing.T) {
+	r := newL2Rig(t, 10)
+	// Drive the eviction handler directly (forcing a replacement through
+	// DRAM fills needs a bigger rig; the handler is the unit under test).
+	r.l2.Seed(1, 70, 90, 5)
+	e := r.l2.tags.Lookup(1)
+	r.l2.evict(mem.Victim[l2Line]{Tag: e.Tag, Meta: e.Meta, WasValid: true}, r.now)
+	if r.l2.MNow() != 90 {
+		t.Fatalf("mnow = %d, want 90", r.l2.MNow())
+	}
+	// A refetch seeds ver/exp from mnow: readers/writers must advance.
+	r.l2.tags.Invalidate(e)
+	r.deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 0, Dst: 2, Now: 0})
+	r.drain(t)
+	m := r.lastOf(coherence.Data)
+	if m == nil {
+		t.Fatal("no refetch DATA")
+	}
+	if m.Ver < 90 {
+		t.Fatalf("refetched ver %d predates mnow 90", m.Ver)
+	}
+}
+
+// TestFig5L2IAV: I-state ATOMIC row — IAV stalls everything; the fill
+// performs the atomic with D.ver = max(lastwr, mnow) and replies with the
+// old value.
+func TestFig5L2IAV(t *testing.T) {
+	r := newL2Rig(t, 10)
+	r.l2.Deliver(&coherence.Msg{Type: coherence.AtomicReq, Line: 1, Src: 0, Dst: 2, Now: 25, ReqID: 3, Val: 4, Atomic: true})
+	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 1, Dst: 2, Now: 0})
+	r.drain(t)
+	var atomic, data *coherence.Msg
+	for _, m := range r.sent {
+		if m.Type == coherence.Data && m.Atomic {
+			atomic = m
+		} else if m.Type == coherence.Data {
+			data = m
+		}
+	}
+	if atomic == nil || data == nil {
+		t.Fatal("missing replies")
+	}
+	if atomic.Val != 0 || atomic.Ver != 25 {
+		t.Fatalf("atomic reply val=%d ver=%d, want 0, 25", atomic.Val, atomic.Ver)
+	}
+	// The stalled GETS replayed after the atomic: it sees the new value.
+	if data.Val != 4 {
+		t.Fatalf("stalled reader saw %d, want 4", data.Val)
+	}
+}

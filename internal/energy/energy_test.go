@@ -1,0 +1,66 @@
+package energy
+
+import (
+	"testing"
+
+	"rccsim/internal/config"
+	"rccsim/internal/stats"
+)
+
+func TestZeroRunZeroEnergy(t *testing.T) {
+	b := Interconnect(config.Default(), stats.New())
+	if b.Total() != 0 {
+		t.Fatalf("empty run has energy %v", b.Total())
+	}
+}
+
+func TestEnergyScalesWithFlits(t *testing.T) {
+	cfg := config.Default()
+	a, b := stats.New(), stats.New()
+	a.Traffic(stats.MsgLdData, 34)
+	b.Traffic(stats.MsgLdData, 68)
+	ea, eb := Interconnect(cfg, a), Interconnect(cfg, b)
+	if eb.Buffer != 2*ea.Buffer || eb.Switch != 2*ea.Switch || eb.Link != 2*ea.Link {
+		t.Fatal("dynamic energy should be linear in flits")
+	}
+}
+
+func TestMESIPaysMorePerFlitAndStatic(t *testing.T) {
+	mesi := config.Default()
+	mesi.Protocol = config.MESI
+	rcc := config.Default()
+	rcc.Protocol = config.RCC
+
+	st := stats.New()
+	st.Traffic(stats.MsgLdData, 1000)
+	st.Cycles = 100000
+
+	em := Interconnect(mesi, st)
+	er := Interconnect(rcc, st)
+	if em.Buffer <= er.Buffer {
+		t.Fatal("5-VC buffer energy should exceed 2-VC")
+	}
+	if em.Static <= er.Static {
+		t.Fatal("5-VC static energy should exceed 2-VC")
+	}
+	if em.Link != er.Link || em.Switch != er.Switch {
+		t.Fatal("link/switch energy should not depend on VC count")
+	}
+}
+
+func TestStaticScalesWithCycles(t *testing.T) {
+	cfg := config.Default()
+	a, b := stats.New(), stats.New()
+	a.Cycles = 1000
+	b.Cycles = 3000
+	if Interconnect(cfg, b).Static != 3*Interconnect(cfg, a).Static {
+		t.Fatal("static energy should be linear in cycles")
+	}
+}
+
+func TestTotalIsSum(t *testing.T) {
+	b := Breakdown{Buffer: 1, Switch: 2, Link: 3, Static: 4}
+	if b.Total() != 10 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"rccsim/internal/config"
+)
+
+func testRunner() *Runner {
+	cfg := config.Small()
+	return NewRunner(cfg)
+}
+
+func TestGMean(t *testing.T) {
+	if g := GMean(nil); g != 1 {
+		t.Fatalf("empty gmean = %v", g)
+	}
+	if g := GMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("gmean(2,8) = %v", g)
+	}
+	if g := GMean([]float64{1, 0}); g != 0 {
+		t.Fatalf("gmean with zero = %v", g)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if ratio(0, 0) != 1 {
+		t.Fatal("0/0 should be 1")
+	}
+	if !math.IsInf(ratio(5, 0), 1) {
+		t.Fatal("x/0 should be +inf")
+	}
+	if ratio(6, 3) != 2 {
+		t.Fatal("6/3 should be 2")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	rows, err := testRunner().Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.StallFrac < 0 || r.StallFrac > 1 || r.StoreBlame < 0 || r.StoreBlame > 1 {
+			t.Fatalf("%s: fractions out of range: %+v", r.Bench, r)
+		}
+		if r.IdealSpeedup <= 0 {
+			t.Fatalf("%s: non-positive ideal speedup", r.Bench)
+		}
+		if r.LoadLat <= 0 || r.StoreLat <= 0 {
+			t.Fatalf("%s: zero latencies", r.Bench)
+		}
+	}
+}
+
+func TestFig6And7(t *testing.T) {
+	r := testRunner()
+	rows6, err := r.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows6 {
+		if row.ExpiredFrac < 0 || row.ExpiredFrac > 1 ||
+			row.RenewableFrac < 0 || row.RenewableFrac > 1 {
+			t.Fatalf("%s: fractions out of range", row.Bench)
+		}
+	}
+	rows7, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows7 {
+		if row.FlitsRenew == 0 || row.FlitsNoRenew == 0 {
+			t.Fatalf("%s: zero traffic", row.Bench)
+		}
+		// Renewal must never increase traffic (renews replace data).
+		if float64(row.FlitsRenew) > 1.05*float64(row.FlitsNoRenew) {
+			t.Errorf("%s: renewal increased traffic %d -> %d",
+				row.Bench, row.FlitsNoRenew, row.FlitsRenew)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	rows, err := testRunner().Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.StallCycles[config.MESI] != 1 || row.StallLatency[config.MESI] != 1 {
+			t.Fatalf("%s: MESI not normalized to 1", row.Bench)
+		}
+		for _, p := range Fig8Protocols {
+			if row.StallCycles[p] < 0 {
+				t.Fatalf("%s/%v: negative ratio", row.Bench, p)
+			}
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	rows, err := testRunner().Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Speedup[config.MESI] != 1 {
+			t.Fatalf("%s: MESI speedup != 1", row.Bench)
+		}
+		for _, p := range Fig9Protocols {
+			if row.Speedup[p] <= 0 {
+				t.Fatalf("%s/%v: bad speedup", row.Bench, p)
+			}
+			e := row.Energy[p]
+			if math.Abs(e.Buffer+e.Switch+e.Link+e.Static-e.Total) > 1e-9 {
+				t.Fatalf("%s/%v: energy parts do not sum", row.Bench, p)
+			}
+			tr := row.Traffic[p]
+			sum := tr.Request + tr.StoreData + tr.LoadData + tr.Ack + tr.Renew + tr.Inv
+			if math.Abs(sum-tr.Total) > 0.01 {
+				t.Fatalf("%s/%v: traffic parts %.3f != total %.3f", row.Bench, p, sum, tr.Total)
+			}
+		}
+		// MESI's 5 VCs must cost more static energy than RCC's 2.
+		if row.Energy[config.RCC].Static >= row.Energy[config.MESI].Static {
+			// static scales with cycles too; only flag when RCC is also faster
+			if row.Speedup[config.RCC] >= 1 {
+				t.Errorf("%s: RCC static energy >= MESI despite fewer VCs and fewer cycles", row.Bench)
+			}
+		}
+	}
+	inter, intra := SpeedupGMeans(rows)
+	for _, p := range Fig9Protocols {
+		if inter[p] <= 0 || intra[p] <= 0 {
+			t.Fatalf("%v: bad gmean", p)
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	rows, err := testRunner().Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Speedup[config.RCC] != 1 {
+			t.Fatalf("%s: RCC-SC baseline != 1", row.Bench)
+		}
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := testRunner()
+	if _, err := r.Fig8(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.cache)
+	if _, err := r.Fig8(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.cache) != n {
+		t.Fatal("second Fig8 re-ran simulations")
+	}
+	// Fig9 shares MESI/TCS/RCC runs with Fig8.
+	if _, err := r.Fig9(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.cache) != n+12 { // only TCW is new: 12 benchmarks
+		t.Fatalf("cache grew by %d, want 12 (TCW only)", len(r.cache)-n)
+	}
+}
+
+func TestTableV(t *testing.T) {
+	rows := TableV()
+	if len(rows) != 4 {
+		t.Fatalf("Table V has 4 protocols, got %d", len(rows))
+	}
+	byName := map[string]TableVRow{}
+	for _, r := range rows {
+		byName[r.Protocol] = r
+	}
+	// The paper's headline: RCC has fewer states and transitions than
+	// every other protocol.
+	rcc := byName["RCC"]
+	for _, other := range []string{"MESI", "TCS", "TCW"} {
+		o := byName[other]
+		if rcc.PaperL2States > o.PaperL2States || rcc.PaperL2Trans > o.PaperL2Trans {
+			t.Errorf("RCC should have the simplest L2 (vs %s)", other)
+		}
+	}
+	if byName["MESI"].PaperL1States != 16 || rcc.PaperL2Trans != 14 {
+		t.Error("paper numbers transcribed wrong")
+	}
+	// Our implementation's realized states match the protocol spec.
+	if rcc.ImplL1States != 5 || rcc.ImplL2States != 4 {
+		t.Error("RCC implementation states should be 5 (I,V,IV,II,VI) and 4 (I,V,IV,IAV)")
+	}
+}
+
+func TestFmt(t *testing.T) {
+	if Fmt(1.234) != "1.23" {
+		t.Fatal("Fmt broken")
+	}
+	if Fmt(math.Inf(1)) != "inf" {
+		t.Fatal("Fmt inf broken")
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"rccsim/internal/config"
+	"rccsim/internal/sim"
+	"rccsim/internal/workload"
+)
+
+// LeaseSweepRow is one point of the fixed-lease sweep (Sec. III-E: the
+// paper found the spread among fixed leases negligible because logical
+// time advances in lease-sized steps).
+type LeaseSweepRow struct {
+	Lease   uint64
+	Cycles  uint64
+	Expired uint64
+	Renewed uint64
+}
+
+// LeaseSweep runs benchmark b under RCC with the predictor disabled for
+// each fixed lease value.
+func LeaseSweep(base config.Config, b workload.Benchmark, leases []uint64) ([]LeaseSweepRow, error) {
+	var rows []LeaseSweepRow
+	for _, lease := range leases {
+		cfg := base
+		cfg.Protocol = config.RCC
+		cfg.RCCPredictor = false
+		cfg.RCCFixedLease = lease
+		res, err := sim.RunBenchmark(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LeaseSweepRow{
+			Lease:   lease,
+			Cycles:  res.Stats.Cycles,
+			Expired: res.Stats.L1LoadExpired,
+			Renewed: res.Stats.L1Renewed,
+		})
+	}
+	return rows, nil
+}
+
+// WarpSweepRow is one point of the TLP sweep: how much thread-level
+// parallelism is needed to cover SC stalls (the argument of [13]).
+type WarpSweepRow struct {
+	Warps       uint64
+	Cycles      uint64
+	IPC         float64
+	StallCycles uint64
+}
+
+// WarpSweep runs benchmark b under RCC-SC for each warps-per-SM count.
+func WarpSweep(base config.Config, b workload.Benchmark, warps []int) ([]WarpSweepRow, error) {
+	var rows []WarpSweepRow
+	for _, w := range warps {
+		cfg := base
+		cfg.Protocol = config.RCC
+		cfg.WarpsPerSM = w
+		res, err := sim.RunBenchmark(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WarpSweepRow{
+			Warps:       uint64(w),
+			Cycles:      res.Stats.Cycles,
+			IPC:         res.Stats.IPC(),
+			StallCycles: res.Stats.TotalSCStallCycles(),
+		})
+	}
+	return rows, nil
+}
+
+// TCLeaseSweepRow is one point of the TC-Strong lease sweep: the tension
+// between store stalls (long leases) and L1 hit rate (short leases) that
+// RCC escapes by using logical time.
+type TCLeaseSweepRow struct {
+	Lease       uint64
+	Cycles      uint64
+	StoreStalls uint64
+	L1HitRate   float64
+}
+
+// TCLeaseSweep runs benchmark b under TC-Strong for each lease duration.
+func TCLeaseSweep(base config.Config, b workload.Benchmark, leases []uint64) ([]TCLeaseSweepRow, error) {
+	var rows []TCLeaseSweepRow
+	for _, lease := range leases {
+		cfg := base
+		cfg.Protocol = config.TCS
+		cfg.TCLease = lease
+		res, err := sim.RunBenchmark(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		hit := 0.0
+		if res.Stats.L1Loads > 0 {
+			hit = float64(res.Stats.L1LoadHits) / float64(res.Stats.L1Loads)
+		}
+		rows = append(rows, TCLeaseSweepRow{
+			Lease:       lease,
+			Cycles:      res.Stats.Cycles,
+			StoreStalls: res.Stats.L2StoreStallCycles,
+			L1HitRate:   hit,
+		})
+	}
+	return rows, nil
+}
+
+// TSBitsSweepRow is one point of the timestamp-width sweep: narrower
+// timestamps roll over more often and pay the Sec. III-D stop-the-world
+// flush.
+type TSBitsSweepRow struct {
+	Bits      uint
+	Cycles    uint64
+	Rollovers uint64
+	Stall     uint64
+}
+
+// TSBitsSweep runs benchmark b under RCC for each timestamp width. Widths
+// too narrow for the configured maximum lease are skipped.
+func TSBitsSweep(base config.Config, b workload.Benchmark, bits []uint) ([]TSBitsSweepRow, error) {
+	var rows []TSBitsSweepRow
+	for _, n := range bits {
+		cfg := base
+		cfg.Protocol = config.RCC
+		cfg.RCCTSMax = (uint64(1) << n) - 1
+		if cfg.RCCTSMax < 4*cfg.RCCMaxLease {
+			continue
+		}
+		res, err := sim.RunBenchmark(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TSBitsSweepRow{
+			Bits:      n,
+			Cycles:    res.Stats.Cycles,
+			Rollovers: res.Stats.Rollovers,
+			Stall:     res.Stats.RolloverStall,
+		})
+	}
+	return rows, nil
+}
+
+// SchedSweepRow compares warp schedulers (LRR vs GTO) for one protocol.
+type SchedSweepRow struct {
+	Scheduler   config.Scheduler
+	Protocol    config.Protocol
+	Cycles      uint64
+	IPC         float64
+	StallCycles uint64
+}
+
+// SchedulerSweep runs benchmark b under each (scheduler, protocol) pair —
+// a sensitivity study for the Table III "loose round-robin" choice.
+func SchedulerSweep(base config.Config, b workload.Benchmark, protocols []config.Protocol) ([]SchedSweepRow, error) {
+	var rows []SchedSweepRow
+	for _, sched := range []config.Scheduler{config.LRR, config.GTO} {
+		for _, p := range protocols {
+			cfg := base
+			cfg.Scheduler = sched
+			cfg.Protocol = p
+			res, err := sim.RunBenchmark(cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SchedSweepRow{
+				Scheduler:   sched,
+				Protocol:    p,
+				Cycles:      res.Stats.Cycles,
+				IPC:         res.Stats.IPC(),
+				StallCycles: res.Stats.TotalSCStallCycles(),
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,47 @@
+package gpu
+
+import "sort"
+
+// Coalesce merges the per-lane byte addresses of one warp memory
+// instruction into the minimal set of cache-line transactions, the way the
+// GPU's load-store unit does: lanes touching the same line share one
+// transaction; fully divergent warps produce up to one transaction per
+// lane. The returned line addresses are deduplicated and sorted (the order
+// transactions are injected).
+//
+// The workload generators emit post-coalescing traces directly for speed,
+// but programs built from per-lane addresses (and the coalescing tests)
+// use this.
+func Coalesce(byteAddrs []uint64, lineBytes int) []uint64 {
+	if len(byteAddrs) == 0 {
+		return nil
+	}
+	lb := uint64(lineBytes)
+	if lb == 0 {
+		lb = 128
+	}
+	seen := make(map[uint64]struct{}, len(byteAddrs))
+	lines := make([]uint64, 0, len(byteAddrs))
+	for _, a := range byteAddrs {
+		l := a / lb
+		if _, dup := seen[l]; dup {
+			continue
+		}
+		seen[l] = struct{}{}
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}
+
+// CoalesceStrided is the common analytic case: lane i accesses
+// base + i*stride (bytes), for lanes lanes. It returns the coalesced line
+// set; stride <= lineBytes/lanes coalesces perfectly into one or two
+// lines, larger strides diverge.
+func CoalesceStrided(base uint64, stride int, lanes, lineBytes int) []uint64 {
+	addrs := make([]uint64, lanes)
+	for i := 0; i < lanes; i++ {
+		addrs[i] = base + uint64(i*stride)
+	}
+	return Coalesce(addrs, lineBytes)
+}

@@ -1,0 +1,94 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoalesceEmpty(t *testing.T) {
+	if got := Coalesce(nil, 128); got != nil {
+		t.Fatalf("empty warp coalesced to %v", got)
+	}
+}
+
+func TestCoalesceFullyCoalesced(t *testing.T) {
+	// 32 lanes x 4-byte words, consecutive: exactly one 128 B line.
+	lines := CoalesceStrided(0, 4, 32, 128)
+	if len(lines) != 1 || lines[0] != 0 {
+		t.Fatalf("got %v, want [0]", lines)
+	}
+}
+
+func TestCoalesceMisaligned(t *testing.T) {
+	// Consecutive words starting mid-line: two transactions.
+	lines := CoalesceStrided(64, 4, 32, 128)
+	if len(lines) != 2 || lines[0] != 0 || lines[1] != 1 {
+		t.Fatalf("got %v, want [0 1]", lines)
+	}
+}
+
+func TestCoalesceFullyDivergent(t *testing.T) {
+	// Stride of a full line per lane: one transaction per lane.
+	lines := CoalesceStrided(0, 128, 32, 128)
+	if len(lines) != 32 {
+		t.Fatalf("got %d lines, want 32", len(lines))
+	}
+	for i, l := range lines {
+		if l != uint64(i) {
+			t.Fatalf("lines not sorted/dense: %v", lines)
+		}
+	}
+}
+
+func TestCoalesceDuplicateLanes(t *testing.T) {
+	// All lanes hitting the same word (e.g. a broadcast read): one line.
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = 4096
+	}
+	lines := Coalesce(addrs, 128)
+	if len(lines) != 1 || lines[0] != 32 {
+		t.Fatalf("got %v, want [32]", lines)
+	}
+}
+
+func TestCoalesceZeroLineBytesDefaults(t *testing.T) {
+	lines := Coalesce([]uint64{0, 127, 128}, 0)
+	if len(lines) != 2 {
+		t.Fatalf("got %v", lines)
+	}
+}
+
+// Properties: output is sorted, deduplicated, covers every input address,
+// and is never larger than the lane count.
+func TestCoalesceProperties(t *testing.T) {
+	f := func(raw []uint32) bool {
+		addrs := make([]uint64, len(raw))
+		for i, r := range raw {
+			addrs[i] = uint64(r)
+		}
+		lines := Coalesce(addrs, 128)
+		if len(lines) > len(addrs) {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for i, l := range lines {
+			if seen[l] {
+				return false
+			}
+			seen[l] = true
+			if i > 0 && lines[i-1] >= l {
+				return false
+			}
+		}
+		for _, a := range addrs {
+			if !seen[a/128] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,480 @@
+// Package gpu models the streaming multiprocessors (SMs): warp state, the
+// loose round-robin scheduler, memory coalescing at warp granularity, and
+// the consistency-model issue rules — the "naïve SC" of the paper (one
+// outstanding global access per warp; scratchpad accesses stall behind
+// globals; fences are hardware no-ops) and weak ordering (many outstanding
+// accesses; FENCE stalls until the protocol's completion rule holds).
+//
+// The SM is also where every SC stall is measured and attributed to the
+// class of the blocking operation (Figs 1a, 1b and 8).
+package gpu
+
+import (
+	"rccsim/internal/coherence"
+	"rccsim/internal/config"
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+	"rccsim/internal/workload"
+)
+
+// woMaxOutstanding bounds in-flight memory instructions per warp under
+// weak ordering (LSU queue depth).
+const woMaxOutstanding = 8
+
+// Observer receives load results (used by the SC litmus checker; nil in
+// performance runs).
+type Observer interface {
+	LoadObserved(sm, warp, pc int, line, val uint64)
+}
+
+// tracker follows one warp-level memory instruction through its (possibly
+// divergent) line accesses.
+type tracker struct {
+	w         *warp
+	class     stats.OpClass
+	issue     timing.Cycle
+	remaining int
+	pc        int
+}
+
+// pendingSubmit holds line accesses rejected by a full L1 MSHR, retried on
+// later cycles before the warp may proceed.
+type pendingSubmit struct {
+	tr    *tracker
+	lines []uint64
+	val   uint64
+}
+
+type warp struct {
+	id        int
+	trace     workload.Trace
+	pc        int
+	busyUntil timing.Cycle
+	done      bool
+
+	outstanding int // memory instructions in flight
+	outClass    [3]int
+
+	submit *pendingSubmit
+
+	atBarrier bool
+
+	// wasStalled marks that the op at the head of this warp was blocked
+	// by SC ordering while the SM had nothing else to issue; the op is
+	// counted in MemOpsStalled when it finally issues (Fig 1a).
+	wasStalled bool
+
+	// WO fence bookkeeping.
+	fenceStalled bool
+	fenceFrom    timing.Cycle
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	cfg config.Config
+	id  int
+	sc  bool
+	l1  coherence.L1
+	st  *stats.Run
+	obs Observer
+
+	warps    []*warp
+	rr       int
+	gto      bool // greedy-then-oldest instead of loose round-robin
+	greedy   int  // GTO: warp that issued last
+	liveN    int
+	trackers map[uint64]*tracker
+	nextID   *uint64
+
+	// Sleep cache: after a scan finds nothing issuable, the SM skips
+	// further scans until wakeAt, unless a completion or barrier release
+	// marks it dirty. This keeps idle cycles O(1) instead of O(warps).
+	dirty  bool
+	wakeAt timing.Cycle
+
+	// SC stall accounting (Figs 1a/1b/8): an SC stall is an issue slot
+	// the SM loses because the only issuable work is blocked by memory
+	// ordering. idleFrom marks the start of the current lost interval;
+	// the blame class comes from the blocking warp's outstanding op.
+	idleValid bool
+	idleFrom  timing.Cycle
+	idleBlame stats.OpClass
+	blocked   []*warp // scratch: SC-blocked warps seen by the last scan
+}
+
+// NewSM builds an SM running the given warp traces through l1. nextID is
+// the machine-wide request-id counter.
+func NewSM(cfg config.Config, id int, l1 coherence.L1, st *stats.Run, traces []workload.Trace, nextID *uint64, obs Observer) *SM {
+	s := &SM{
+		cfg:      cfg,
+		id:       id,
+		sc:       cfg.Consistency() == config.SC,
+		l1:       l1,
+		st:       st,
+		obs:      obs,
+		trackers: make(map[uint64]*tracker),
+		nextID:   nextID,
+		dirty:    true,
+		gto:      cfg.Scheduler == config.GTO,
+	}
+	for i, tr := range traces {
+		w := &warp{id: i, trace: tr}
+		if len(tr) == 0 {
+			w.done = true
+		} else {
+			s.liveN++
+		}
+		s.warps = append(s.warps, w)
+	}
+	s.checkBarrier()
+	return s
+}
+
+// Done reports whether every warp has retired its trace and every memory
+// instruction has been submitted and completed.
+func (s *SM) Done() bool {
+	if s.liveN != 0 || len(s.trackers) != 0 {
+		return false
+	}
+	for _, w := range s.warps {
+		if w.submit != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick attempts to issue one instruction (loose round-robin across warps).
+func (s *SM) Tick(now timing.Cycle) bool {
+	if !s.dirty && now < s.wakeAt {
+		return false
+	}
+	s.dirty = false
+	s.blocked = s.blocked[:0]
+	n := len(s.warps)
+	if s.gto {
+		// Greedy-then-oldest: stick with the last issuing warp, then
+		// fall back to the oldest (lowest-id) ready warp.
+		if s.tryIssue(s.warps[s.greedy], now) {
+			s.wakeAt = now + 1
+			s.closeIdle(now)
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if i == s.greedy {
+				continue
+			}
+			if s.tryIssue(s.warps[i], now) {
+				s.greedy = i
+				s.wakeAt = now + 1
+				s.closeIdle(now)
+				return true
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			w := s.warps[(s.rr+i)%n]
+			if s.tryIssue(w, now) {
+				s.rr = (s.rr + i + 1) % n
+				s.wakeAt = now + 1
+				s.closeIdle(now)
+				return true
+			}
+		}
+	}
+	s.wakeAt = s.scanNextEvent(now)
+	// Nothing issued: if some warp was blocked purely by SC ordering,
+	// this cycle (and every cycle until the next scan) is an SC stall.
+	if len(s.blocked) > 0 {
+		if !s.idleValid {
+			s.idleValid = true
+			s.idleFrom = now
+			s.idleBlame = s.blame(s.blocked[0])
+		}
+		// Only the op the scheduler would actually have issued (the
+		// first blocked warp in round-robin order) loses its slot;
+		// later warps were not schedulable this cycle anyway (Fig 1a).
+		s.blocked[0].wasStalled = true
+	} else {
+		s.closeIdle(now)
+	}
+	return false
+}
+
+// closeIdle ends the current SC-stall interval, charging its cycles.
+func (s *SM) closeIdle(now timing.Cycle) {
+	if !s.idleValid {
+		return
+	}
+	s.idleValid = false
+	if now > s.idleFrom {
+		s.st.SCStallCycles[s.idleBlame] += uint64(now - s.idleFrom)
+		s.st.SCStallEvents++
+	}
+}
+
+// tryIssue attempts to make progress on w; it also performs stall
+// bookkeeping for warps it finds blocked.
+func (s *SM) tryIssue(w *warp, now timing.Cycle) bool {
+	if w.atBarrier || w.busyUntil > now {
+		return false
+	}
+	if w.submit != nil {
+		// A partially-submitted memory instruction must drain before
+		// anything else (including trace completion).
+		return s.drainSubmit(w, now)
+	}
+	if w.done {
+		return false
+	}
+	in := &w.trace[w.pc]
+	switch in.Op {
+	case workload.OpCompute:
+		w.busyUntil = now + timing.Cycle(in.Lat)
+		s.retire(w)
+		return true
+
+	case workload.OpLocal:
+		if s.sc && w.outstanding > 0 {
+			s.markStall(w, now)
+			return false
+		}
+		lat := uint64(in.Lat)
+		if lat == 0 {
+			lat = s.cfg.LocalLatency
+		}
+		w.busyUntil = now + timing.Cycle(lat)
+		s.retire(w)
+		return true
+
+	case workload.OpLoad, workload.OpStore, workload.OpAtomic:
+		if s.sc && w.outstanding > 0 {
+			s.markStall(w, now)
+			return false
+		}
+		if !s.sc && w.outstanding >= woMaxOutstanding {
+			return false // structural (LSU queue), not an SC stall
+		}
+		s.issueMem(w, in, now)
+		return true
+
+	case workload.OpFence:
+		return s.issueFence(w, now)
+
+	case workload.OpBarrier:
+		w.atBarrier = true
+		s.st.Instructions++
+		w.pc++ // pc advances now; release gates on atBarrier
+		s.finishTraceIfNeeded(w)
+		s.checkBarrier()
+		return true
+	}
+	return false
+}
+
+// retire advances past a non-memory instruction.
+func (s *SM) retire(w *warp) {
+	s.st.Instructions++
+	w.pc++
+	s.finishTraceIfNeeded(w)
+}
+
+func (s *SM) finishTraceIfNeeded(w *warp) {
+	if !w.done && w.pc >= len(w.trace) {
+		w.done = true
+		s.liveN--
+		s.checkBarrier()
+	}
+}
+
+// issueMem starts a warp-level memory instruction: one Request per
+// coalesced line.
+func (s *SM) issueMem(w *warp, in *workload.Instr, now timing.Cycle) {
+	var class stats.OpClass
+	switch in.Op {
+	case workload.OpLoad:
+		class = stats.OpLoad
+	case workload.OpStore:
+		class = stats.OpStore
+	default:
+		class = stats.OpAtomic
+	}
+	s.st.Instructions++
+	s.st.MemOps++
+	if w.wasStalled {
+		s.st.MemOpsStalled++
+		w.wasStalled = false
+	}
+	tr := &tracker{w: w, class: class, issue: now, remaining: len(in.Lines), pc: w.pc}
+	w.outstanding++
+	w.outClass[class]++
+	w.submit = &pendingSubmit{tr: tr, lines: in.Lines, val: in.Val}
+	w.pc++
+	s.drainSubmit(w, now)
+	s.finishTraceIfNeeded(w)
+}
+
+// drainSubmit pushes pending line accesses into the L1 until it refuses.
+func (s *SM) drainSubmit(w *warp, now timing.Cycle) bool {
+	sub := w.submit
+	progress := false
+	for len(sub.lines) > 0 {
+		*s.nextID++
+		r := &coherence.Request{
+			ID:    *s.nextID,
+			Class: sub.tr.class,
+			Line:  sub.lines[0],
+			Warp:  w.id,
+			Val:   sub.val,
+			Issue: sub.tr.issue,
+		}
+		s.trackers[r.ID] = sub.tr
+		if !s.l1.Access(r, now) {
+			delete(s.trackers, r.ID)
+			*s.nextID--
+			break
+		}
+		sub.lines = sub.lines[1:]
+		progress = true
+	}
+	if len(sub.lines) == 0 {
+		w.submit = nil
+	}
+	return progress
+}
+
+func (s *SM) issueFence(w *warp, now timing.Cycle) bool {
+	if s.sc {
+		// Fences are hardware no-ops under SC (left in the binary only
+		// to pin the compiler).
+		s.st.Fences++
+		w.pc++
+		s.st.Instructions++
+		s.finishTraceIfNeeded(w)
+		return true
+	}
+	if w.outstanding > 0 {
+		s.markFenceStall(w, now)
+		return false
+	}
+	if ready := s.l1.FenceReadyAt(w.id, now); ready > now {
+		s.markFenceStall(w, now)
+		return false
+	}
+	if w.fenceStalled {
+		s.st.FenceStallCycles += uint64(now - w.fenceFrom)
+		w.fenceStalled = false
+	}
+	s.l1.FenceComplete(w.id, now)
+	s.st.Fences++
+	s.st.Instructions++
+	w.pc++
+	s.finishTraceIfNeeded(w)
+	return true
+}
+
+// blame picks the stall-blame class from the warp's outstanding ops.
+func (s *SM) blame(w *warp) stats.OpClass {
+	switch {
+	case w.outClass[stats.OpAtomic] > 0:
+		return stats.OpAtomic
+	case w.outClass[stats.OpStore] > 0:
+		return stats.OpStore
+	default:
+		return stats.OpLoad
+	}
+}
+
+func (s *SM) markStall(w *warp, now timing.Cycle) {
+	s.blocked = append(s.blocked, w)
+}
+
+func (s *SM) markFenceStall(w *warp, now timing.Cycle) {
+	if !w.fenceStalled {
+		w.fenceStalled = true
+		w.fenceFrom = now
+	}
+}
+
+// checkBarrier releases the block barrier once every live warp arrived.
+func (s *SM) checkBarrier() {
+	if s.liveN == 0 {
+		return
+	}
+	arrived := 0
+	for _, w := range s.warps {
+		if w.done {
+			continue
+		}
+		if !w.atBarrier {
+			return
+		}
+		arrived++
+	}
+	if arrived == 0 {
+		return
+	}
+	for _, w := range s.warps {
+		w.atBarrier = false
+	}
+	s.dirty = true
+}
+
+// MemDone implements coherence.Sink.
+func (s *SM) MemDone(r *coherence.Request, now timing.Cycle) {
+	tr, ok := s.trackers[r.ID]
+	if !ok {
+		return
+	}
+	delete(s.trackers, r.ID)
+	s.dirty = true
+	if s.obs != nil && tr.class != stats.OpStore {
+		s.obs.LoadObserved(s.id, tr.w.id, tr.pc, r.Line, r.Data)
+	}
+	tr.remaining--
+	if tr.remaining > 0 {
+		return
+	}
+	lat := uint64(now - tr.issue)
+	if lat == 0 {
+		lat = 1
+	}
+	s.st.Latency[tr.class].Add(lat)
+	s.st.LatencyHist[tr.class].Add(lat)
+
+	w := tr.w
+	w.outstanding--
+	w.outClass[tr.class]--
+}
+
+// NextEvent reports the earliest future cycle at which the SM itself could
+// make progress without an external completion.
+func (s *SM) NextEvent(now timing.Cycle) timing.Cycle {
+	if s.dirty {
+		return now
+	}
+	return s.wakeAt
+}
+
+func (s *SM) scanNextEvent(now timing.Cycle) timing.Cycle {
+	next := timing.Never
+	for _, w := range s.warps {
+		if w.submit != nil {
+			return now + 1 // MSHR retry
+		}
+		if w.done {
+			continue
+		}
+		if w.atBarrier {
+			continue
+		}
+		if w.busyUntil > now {
+			next = timing.Min(next, w.busyUntil)
+			continue
+		}
+		if !s.sc && w.pc < len(w.trace) && w.trace[w.pc].Op == workload.OpFence && w.outstanding == 0 {
+			next = timing.Min(next, s.l1.FenceReadyAt(w.id, now))
+		}
+	}
+	return next
+}

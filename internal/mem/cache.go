@@ -1,0 +1,214 @@
+// Package mem provides the storage-array building blocks shared by every
+// coherence protocol: set-associative cache arrays with LRU replacement,
+// MSHR tables, and a banked GDDR DRAM timing model.
+package mem
+
+// Entry is one way of one cache set. Meta carries protocol-specific state
+// (timestamps, MESI state, dirty bits, values).
+type Entry[M any] struct {
+	Tag   uint64 // full line address (not just the tag bits; sets are implicit)
+	Valid bool
+	Meta  M
+	lru   uint64
+}
+
+// Victim describes a line displaced by Allocate.
+type Victim[M any] struct {
+	Tag      uint64
+	Meta     M
+	WasValid bool
+}
+
+// Array is a set-associative cache array. The caller supplies the
+// line-address-to-set mapping so that L1s (modulo sets) and L2 partitions
+// (partition-interleaved) can share the implementation.
+type Array[M any] struct {
+	sets  [][]Entry[M]
+	index func(line uint64) int
+	clock uint64
+}
+
+// NewArray builds an array with the given geometry. index maps a line
+// address to a set number in [0, sets).
+func NewArray[M any](sets, ways int, index func(line uint64) int) *Array[M] {
+	if sets <= 0 || ways <= 0 {
+		panic("mem: non-positive cache geometry")
+	}
+	a := &Array[M]{index: index, sets: make([][]Entry[M], sets)}
+	for i := range a.sets {
+		a.sets[i] = make([]Entry[M], ways)
+	}
+	return a
+}
+
+// Lookup returns the entry holding line, or nil. It does not update LRU
+// state; callers decide what counts as a use via Touch.
+func (a *Array[M]) Lookup(line uint64) *Entry[M] {
+	set := a.sets[a.index(line)]
+	for i := range set {
+		if set[i].Valid && set[i].Tag == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks e as most recently used.
+func (a *Array[M]) Touch(e *Entry[M]) {
+	a.clock++
+	e.lru = a.clock
+}
+
+// Invalidate clears e.
+func (a *Array[M]) Invalidate(e *Entry[M]) {
+	var zero M
+	e.Valid = false
+	e.Tag = 0
+	e.Meta = zero
+	e.lru = 0
+}
+
+// Allocate finds a slot for line, evicting the LRU entry among those for
+// which canEvict returns true (canEvict == nil permits any entry). It
+// returns the (re-initialized, Valid) entry, the displaced victim if one
+// was valid, and ok=false if every way is pinned. If the line is already
+// present its entry is returned unchanged (with ok=true, no victim).
+func (a *Array[M]) Allocate(line uint64, canEvict func(*Entry[M]) bool) (*Entry[M], Victim[M], bool) {
+	var none Victim[M]
+	setIdx := a.index(line)
+	set := a.sets[setIdx]
+	var free *Entry[M]
+	var lruEntry *Entry[M]
+	for i := range set {
+		e := &set[i]
+		if e.Valid && e.Tag == line {
+			return e, none, true
+		}
+		if !e.Valid {
+			if free == nil {
+				free = e
+			}
+			continue
+		}
+		if canEvict != nil && !canEvict(e) {
+			continue
+		}
+		if lruEntry == nil || e.lru < lruEntry.lru {
+			lruEntry = e
+		}
+	}
+	target := free
+	victim := none
+	if target == nil {
+		if lruEntry == nil {
+			return nil, none, false
+		}
+		target = lruEntry
+		victim = Victim[M]{Tag: target.Tag, Meta: target.Meta, WasValid: true}
+	}
+	var zero M
+	target.Tag = line
+	target.Valid = true
+	target.Meta = zero
+	a.Touch(target)
+	return target, victim, true
+}
+
+// ForEach visits every valid entry; fn may invalidate entries via the
+// provided pointer (used by rollover flushes).
+func (a *Array[M]) ForEach(fn func(e *Entry[M])) {
+	for s := range a.sets {
+		for i := range a.sets[s] {
+			if a.sets[s][i].Valid {
+				fn(&a.sets[s][i])
+			}
+		}
+	}
+}
+
+// CountValid returns the number of valid entries.
+func (a *Array[M]) CountValid() int {
+	n := 0
+	a.ForEach(func(*Entry[M]) { n++ })
+	return n
+}
+
+// MSHRs is a miss-status-holding-register table keyed by line address, with
+// a capacity bound. E is the protocol-specific entry payload.
+type MSHRs[E any] struct {
+	cap int
+	m   map[uint64]*E
+}
+
+// NewMSHRs returns a table with the given capacity.
+func NewMSHRs[E any](capacity int) *MSHRs[E] {
+	if capacity <= 0 {
+		panic("mem: non-positive MSHR capacity")
+	}
+	return &MSHRs[E]{cap: capacity, m: make(map[uint64]*E)}
+}
+
+// Get returns the entry for line, or nil.
+func (t *MSHRs[E]) Get(line uint64) *E { return t.m[line] }
+
+// Alloc creates an entry for line. It returns nil if the table is full or
+// the line already has an entry (callers must Get first).
+func (t *MSHRs[E]) Alloc(line uint64) *E {
+	if len(t.m) >= t.cap {
+		return nil
+	}
+	if _, dup := t.m[line]; dup {
+		return nil
+	}
+	e := new(E)
+	t.m[line] = e
+	return e
+}
+
+// Free releases the entry for line.
+func (t *MSHRs[E]) Free(line uint64) { delete(t.m, line) }
+
+// Len reports the number of live entries.
+func (t *MSHRs[E]) Len() int { return len(t.m) }
+
+// Full reports whether Alloc would fail for a new line.
+func (t *MSHRs[E]) Full() bool { return len(t.m) >= t.cap }
+
+// ForEach visits all entries (iteration order unspecified; callers that
+// need determinism must sort keys — see Lines).
+func (t *MSHRs[E]) ForEach(fn func(line uint64, e *E)) {
+	for l, e := range t.m {
+		fn(l, e)
+	}
+}
+
+// Lines returns all keys in ascending order (for deterministic iteration).
+func (t *MSHRs[E]) Lines() []uint64 {
+	out := make([]uint64, 0, len(t.m))
+	for l := range t.m {
+		out = append(out, l)
+	}
+	// insertion sort; tables are small
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Backing is the DRAM value image shared by all partitions: one uint64
+// value per line (the simulator tracks values at line granularity; see
+// DESIGN.md). Absent lines read as zero.
+type Backing struct {
+	m map[uint64]uint64
+}
+
+// NewBacking returns an empty memory image.
+func NewBacking() *Backing { return &Backing{m: make(map[uint64]uint64)} }
+
+// Read returns the value of line (zero if never written).
+func (b *Backing) Read(line uint64) uint64 { return b.m[line] }
+
+// Write stores val at line.
+func (b *Backing) Write(line, val uint64) { b.m[line] = val }

@@ -1,0 +1,279 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rccsim/internal/config"
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+)
+
+type meta struct{ v int }
+
+func mod16(line uint64) int { return int(line % 16) }
+
+func TestArrayLookupMiss(t *testing.T) {
+	a := NewArray[meta](16, 4, mod16)
+	if a.Lookup(5) != nil {
+		t.Fatal("lookup on empty array should miss")
+	}
+}
+
+func TestArrayAllocateAndLookup(t *testing.T) {
+	a := NewArray[meta](16, 4, mod16)
+	e, v, ok := a.Allocate(5, nil)
+	if !ok || v.WasValid {
+		t.Fatal("first allocation should not evict")
+	}
+	e.Meta.v = 42
+	got := a.Lookup(5)
+	if got == nil || got.Meta.v != 42 {
+		t.Fatal("lookup after allocate failed")
+	}
+	// Re-allocating the same line returns the same entry without reset.
+	e2, _, ok := a.Allocate(5, nil)
+	if !ok || e2 != got || e2.Meta.v != 42 {
+		t.Fatal("duplicate allocate should return existing entry")
+	}
+}
+
+func TestArrayLRUEviction(t *testing.T) {
+	a := NewArray[meta](1, 2, func(uint64) int { return 0 })
+	a.Allocate(1, nil)
+	a.Allocate(2, nil)
+	// Touch 1 so 2 becomes LRU.
+	a.Touch(a.Lookup(1))
+	_, v, ok := a.Allocate(3, nil)
+	if !ok || !v.WasValid || v.Tag != 2 {
+		t.Fatalf("expected eviction of 2, got %+v ok=%v", v, ok)
+	}
+	if a.Lookup(2) != nil {
+		t.Fatal("2 should have been displaced")
+	}
+	if a.Lookup(1) == nil || a.Lookup(3) == nil {
+		t.Fatal("1 and 3 should be resident")
+	}
+}
+
+func TestArrayPinnedWays(t *testing.T) {
+	a := NewArray[meta](1, 2, func(uint64) int { return 0 })
+	a.Allocate(1, nil)
+	a.Allocate(2, nil)
+	none := func(*Entry[meta]) bool { return false }
+	if _, _, ok := a.Allocate(3, none); ok {
+		t.Fatal("allocation should fail when all ways pinned")
+	}
+	only2 := func(e *Entry[meta]) bool { return e.Tag == 2 }
+	_, v, ok := a.Allocate(3, only2)
+	if !ok || v.Tag != 2 {
+		t.Fatalf("selective eviction failed: %+v ok=%v", v, ok)
+	}
+}
+
+func TestArrayInvalidate(t *testing.T) {
+	a := NewArray[meta](16, 4, mod16)
+	e, _, _ := a.Allocate(7, nil)
+	a.Invalidate(e)
+	if a.Lookup(7) != nil {
+		t.Fatal("invalidated line still visible")
+	}
+	if a.CountValid() != 0 {
+		t.Fatal("CountValid after invalidate != 0")
+	}
+}
+
+func TestArrayForEach(t *testing.T) {
+	a := NewArray[meta](16, 4, mod16)
+	for i := uint64(0); i < 40; i++ {
+		a.Allocate(i, nil)
+	}
+	n := a.CountValid()
+	if n == 0 || n > 64 {
+		t.Fatalf("CountValid = %d", n)
+	}
+	// Flush everything.
+	a.ForEach(func(e *Entry[meta]) { a.Invalidate(e) })
+	if a.CountValid() != 0 {
+		t.Fatal("flush incomplete")
+	}
+}
+
+// Property: after any sequence of allocations, each line that Lookup finds
+// maps to its own tag, no set exceeds its ways, and no tag appears twice.
+func TestArrayPropertyNoDuplicates(t *testing.T) {
+	f := func(lines []uint16) bool {
+		a := NewArray[meta](8, 2, func(l uint64) int { return int(l % 8) })
+		for _, l := range lines {
+			a.Allocate(uint64(l), nil)
+		}
+		seen := map[uint64]int{}
+		a.ForEach(func(e *Entry[meta]) { seen[e.Tag]++ })
+		for tag, n := range seen {
+			if n != 1 {
+				return false
+			}
+			if got := a.Lookup(tag); got == nil || got.Tag != tag {
+				return false
+			}
+		}
+		return a.CountValid() <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRsBasics(t *testing.T) {
+	type entry struct{ n int }
+	tbl := NewMSHRs[entry](2)
+	e := tbl.Alloc(10)
+	if e == nil {
+		t.Fatal("alloc failed")
+	}
+	e.n = 5
+	if tbl.Get(10).n != 5 {
+		t.Fatal("get returned wrong entry")
+	}
+	if tbl.Alloc(10) != nil {
+		t.Fatal("duplicate alloc should fail")
+	}
+	if tbl.Alloc(11) == nil {
+		t.Fatal("second alloc should succeed")
+	}
+	if !tbl.Full() || tbl.Alloc(12) != nil {
+		t.Fatal("capacity not enforced")
+	}
+	tbl.Free(10)
+	if tbl.Get(10) != nil || tbl.Len() != 1 {
+		t.Fatal("free failed")
+	}
+	if tbl.Alloc(12) == nil {
+		t.Fatal("alloc after free should succeed")
+	}
+}
+
+func TestMSHRsLinesSorted(t *testing.T) {
+	type entry struct{}
+	tbl := NewMSHRs[entry](16)
+	for _, l := range []uint64{9, 3, 7, 1, 5} {
+		tbl.Alloc(l)
+	}
+	lines := tbl.Lines()
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Fatalf("Lines not sorted: %v", lines)
+		}
+	}
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func dramConfig() config.Config {
+	c := config.Default()
+	return c
+}
+
+// drainDRAM ticks the channel until n completions arrive, returning the
+// completion cycle of each request id.
+func drainDRAM(t *testing.T, d *DRAM, n int) map[uint64]timing.Cycle {
+	t.Helper()
+	out := make(map[uint64]timing.Cycle)
+	for at := timing.Cycle(0); at < 100000; at++ {
+		d.Tick(at)
+		for {
+			r, ok := d.PopDone(at)
+			if !ok {
+				break
+			}
+			out[r.ID] = at
+		}
+		if len(out) == n {
+			return out
+		}
+	}
+	t.Fatalf("only %d of %d completions", len(out), n)
+	return nil
+}
+
+func TestDRAMCompletionOrderAndLatency(t *testing.T) {
+	st := stats.New()
+	cfg := dramConfig()
+	d := NewDRAM(cfg, st)
+	d.Submit(DRAMReq{Line: 0, ID: 1}, 0)
+	if d.Pending() != 1 {
+		t.Fatal("pending != 1")
+	}
+	if _, ok := d.PopDone(0); ok {
+		t.Fatal("completed instantly")
+	}
+	if d.NextEvent() == timing.Never {
+		t.Fatal("no event scheduled")
+	}
+	done := drainDRAM(t, d, 1)
+	// Minimum latency: pipe + (row miss) + bus + pipe.
+	min := timing.Cycle(cfg.DRAMPipeLatency + cfg.DRAMtRP + cfg.DRAMtRCD + cfg.DRAMtCL + cfg.DRAMBusCycles + cfg.DRAMPipeLatency)
+	if done[1] != min {
+		t.Fatalf("first access latency = %d, want %d", done[1], min)
+	}
+	if st.DRAMReads != 1 || st.DRAMRowMisses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDRAMRowHit(t *testing.T) {
+	st := stats.New()
+	d := NewDRAM(dramConfig(), st)
+	d.Submit(DRAMReq{Line: 0, ID: 1}, 0)
+	d.Submit(DRAMReq{Line: 1, ID: 2}, 0) // same row
+	drainDRAM(t, d, 2)
+	if st.DRAMRowHits != 1 || st.DRAMRowMisses != 1 {
+		t.Fatalf("row hits/misses = %d/%d", st.DRAMRowHits, st.DRAMRowMisses)
+	}
+}
+
+// TestDRAMFRFCFSPrefersRowHits: with an open row and a queue containing an
+// older row-conflict plus a newer row-hit on the same bank, the scheduler
+// services the row hit first (the definition of FR-FCFS).
+func TestDRAMFRFCFSPrefersRowHits(t *testing.T) {
+	st := stats.New()
+	cfg := dramConfig()
+	d := NewDRAM(cfg, st)
+	sameBankStride := uint64(cfg.DRAMRowLines * cfg.DRAMBanksPerPart)
+	d.Submit(DRAMReq{Line: 0, ID: 1}, 0) // opens row 0 of bank 0
+	// Wait until the first is issued, then enqueue conflict + hit.
+	for at := timing.Cycle(0); at < 200; at++ {
+		d.Tick(at)
+	}
+	d.Submit(DRAMReq{Line: sameBankStride, ID: 2}, 200) // row conflict (older)
+	d.Submit(DRAMReq{Line: 1, ID: 3}, 200)              // row hit (newer)
+	done := drainDRAM(t, d, 3)
+	if done[3] >= done[2] {
+		t.Fatalf("FR-FCFS violated: hit done at %d, conflict at %d", done[3], done[2])
+	}
+}
+
+func TestDRAMBankConflictSerializes(t *testing.T) {
+	st := stats.New()
+	cfg := dramConfig()
+	d := NewDRAM(cfg, st)
+	// Two different rows in the same bank: second must finish later.
+	sameBankStride := uint64(cfg.DRAMRowLines * cfg.DRAMBanksPerPart)
+	d.Submit(DRAMReq{Line: 0, ID: 1}, 0)
+	d.Submit(DRAMReq{Line: sameBankStride, ID: 2}, 0)
+	done := drainDRAM(t, d, 2)
+	if done[2] <= done[1] {
+		t.Fatalf("bank conflict not serialized: %d <= %d", done[2], done[1])
+	}
+}
+
+func TestDRAMWriteCounted(t *testing.T) {
+	st := stats.New()
+	d := NewDRAM(dramConfig(), st)
+	d.Submit(DRAMReq{Line: 0, Write: true, ID: 1}, 0)
+	drainDRAM(t, d, 1)
+	if st.DRAMWrites != 1 {
+		t.Fatal("write not counted")
+	}
+}

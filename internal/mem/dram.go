@@ -1,0 +1,152 @@
+package mem
+
+import (
+	"rccsim/internal/config"
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+)
+
+// DRAMReq is one line-granularity DRAM access.
+type DRAMReq struct {
+	Line  uint64
+	Write bool
+	ID    uint64 // caller token, returned on completion
+}
+
+type dramBank struct {
+	openRow   uint64
+	hasOpen   bool
+	busyUntil timing.Cycle
+}
+
+type pendingReq struct {
+	req     DRAMReq
+	bank    int
+	row     uint64
+	arrival timing.Cycle
+}
+
+// DRAM models one GDDR channel attached to one L2 partition: banks with
+// open-row state, a shared data bus, a fixed pipe latency to/from the L2,
+// and an FR-FCFS scheduler (Table III): each cycle the controller issues
+// the oldest row-hit request whose bank is ready, falling back to the
+// oldest ready request, so streams keep their row locality even when many
+// warps interleave.
+type DRAM struct {
+	cfg      config.Config
+	banks    []dramBank
+	busFree  timing.Cycle
+	queue    []pendingReq
+	done     timing.Queue[DRAMReq]
+	st       *stats.Run
+	rowLines uint64
+	lastTick timing.Cycle
+}
+
+// NewDRAM builds a channel using the DRAM parameters in cfg.
+func NewDRAM(cfg config.Config, st *stats.Run) *DRAM {
+	return &DRAM{
+		cfg:      cfg,
+		banks:    make([]dramBank, cfg.DRAMBanksPerPart),
+		st:       st,
+		rowLines: uint64(cfg.DRAMRowLines),
+	}
+}
+
+// Submit enqueues req at cycle now; the scheduler issues it later.
+func (d *DRAM) Submit(req DRAMReq, now timing.Cycle) {
+	row := req.Line / d.rowLines
+	d.queue = append(d.queue, pendingReq{
+		req:     req,
+		bank:    int(row % uint64(len(d.banks))),
+		row:     row / uint64(len(d.banks)),
+		arrival: now + timing.Cycle(d.cfg.DRAMPipeLatency),
+	})
+	// Opportunistically schedule so single-request callers need no Tick.
+	d.schedule(now)
+}
+
+// Tick lets the controller issue commands at cycle now.
+func (d *DRAM) Tick(now timing.Cycle) bool {
+	if now == d.lastTick && now != 0 {
+		return false
+	}
+	d.lastTick = now
+	return d.schedule(now)
+}
+
+// schedule issues at most one command (FR-FCFS: oldest row hit on a ready
+// bank first, else oldest request on a ready bank).
+func (d *DRAM) schedule(now timing.Cycle) bool {
+	pick := -1
+	pickHit := false
+	for i := range d.queue {
+		p := &d.queue[i]
+		if p.arrival > now {
+			continue
+		}
+		b := &d.banks[p.bank]
+		if b.busyUntil > now {
+			continue
+		}
+		hit := b.hasOpen && b.openRow == p.row
+		if hit && !pickHit {
+			pick = i
+			pickHit = true
+			break // oldest row hit wins immediately (queue is FIFO)
+		}
+		if pick == -1 {
+			pick = i
+		}
+	}
+	if pick == -1 {
+		return false
+	}
+	p := d.queue[pick]
+	d.queue = append(d.queue[:pick], d.queue[pick+1:]...)
+
+	b := &d.banks[p.bank]
+	var access timing.Cycle
+	if b.hasOpen && b.openRow == p.row {
+		access = timing.Cycle(d.cfg.DRAMtCL)
+		d.st.DRAMRowHits++
+	} else {
+		access = timing.Cycle(d.cfg.DRAMtRP + d.cfg.DRAMtRCD + d.cfg.DRAMtCL)
+		d.st.DRAMRowMisses++
+		b.hasOpen = true
+		b.openRow = p.row
+	}
+	dataStart := timing.Max(now+access, d.busFree)
+	dataEnd := dataStart + timing.Cycle(d.cfg.DRAMBusCycles)
+	d.busFree = dataEnd
+	b.busyUntil = dataEnd
+	completion := dataEnd + timing.Cycle(d.cfg.DRAMPipeLatency)
+
+	if p.req.Write {
+		d.st.DRAMWrites++
+	} else {
+		d.st.DRAMReads++
+	}
+	d.done.Push(completion, p.req)
+	return true
+}
+
+// PopDone returns the next completed request at cycle now, if any.
+func (d *DRAM) PopDone(now timing.Cycle) (DRAMReq, bool) {
+	return d.done.PopReady(now)
+}
+
+// NextEvent returns the earliest cycle at which the channel needs service:
+// a completion, or a schedulable queued request.
+func (d *DRAM) NextEvent() timing.Cycle {
+	next := d.done.NextReady()
+	for i := range d.queue {
+		p := &d.queue[i]
+		t := timing.Max(p.arrival, d.banks[p.bank].busyUntil)
+		next = timing.Min(next, t)
+	}
+	return next
+}
+
+// Pending reports the number of in-flight requests (queued or issued).
+func (d *DRAM) Pending() int { return len(d.queue) + d.done.Len() }

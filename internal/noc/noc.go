@@ -1,0 +1,122 @@
+// Package noc models the GPU's on-chip interconnect: one crossbar per
+// direction (L1→L2 requests, L2→L1 responses) with 32-bit flits moving at
+// 700 MHz (one flit per two core cycles per port), a fixed router pipeline
+// latency, and per-port serialization in both the injecting and ejecting
+// direction. Flit counts per message class feed the Fig 9b/9c traffic and
+// energy results.
+package noc
+
+import (
+	"rccsim/internal/coherence"
+	"rccsim/internal/config"
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+)
+
+// Node receives delivered messages.
+type Node interface {
+	Deliver(m *coherence.Msg)
+}
+
+// Network is the pair of crossbars. Node ids 0..NumSMs-1 are L1s;
+// NumSMs..NumSMs+L2Partitions-1 are L2 partitions. Direction is inferred
+// from the source id.
+type Network struct {
+	cfg   config.Config
+	st    *stats.Run
+	nodes []Node
+
+	// Per-port busy-until times, separately for the request direction
+	// (L1 source ports, L2 sink ports) and the response direction.
+	reqSrcFree []timing.Cycle // indexed by SM id
+	reqDstFree []timing.Cycle // indexed by partition
+	rspSrcFree []timing.Cycle // indexed by partition
+	rspDstFree []timing.Cycle // indexed by SM id
+
+	inflight timing.Queue[*coherence.Msg]
+}
+
+// New builds the interconnect for cfg.
+func New(cfg config.Config, st *stats.Run) *Network {
+	total := cfg.NumSMs + cfg.L2Partitions
+	return &Network{
+		cfg:        cfg,
+		st:         st,
+		nodes:      make([]Node, total),
+		reqSrcFree: make([]timing.Cycle, cfg.NumSMs),
+		reqDstFree: make([]timing.Cycle, cfg.L2Partitions),
+		rspSrcFree: make([]timing.Cycle, cfg.L2Partitions),
+		rspDstFree: make([]timing.Cycle, cfg.NumSMs),
+	}
+}
+
+// Register attaches the receiver for node id.
+func (n *Network) Register(id int, node Node) { n.nodes[id] = node }
+
+// Send injects m at cycle now. Delivery happens via Tick once the message
+// has traversed injection serialization, the router pipeline, and ejection
+// serialization.
+func (n *Network) Send(m *coherence.Msg, now timing.Cycle) {
+	flits := coherence.Flits(n.cfg, m)
+	n.st.Traffic(m.Type.Class(), flits)
+
+	ser := n.serialization(flits)
+	pipe := timing.Cycle(n.cfg.NoCPipeLatency)
+
+	var srcFree, dstFree *timing.Cycle
+	if m.Src < n.cfg.NumSMs {
+		srcFree = &n.reqSrcFree[m.Src]
+		dstFree = &n.reqDstFree[m.Dst-n.cfg.NumSMs]
+	} else {
+		srcFree = &n.rspSrcFree[m.Src-n.cfg.NumSMs]
+		dstFree = &n.rspDstFree[m.Dst]
+	}
+
+	startTx := timing.Max(now, *srcFree)
+	endTx := startTx + ser
+	*srcFree = endTx
+
+	// The head flit reaches the ejection port after the pipeline; the
+	// tail must also clear ejection-port serialization, which may be
+	// backed up by earlier messages to the same destination.
+	arrive := endTx + pipe
+	deliver := timing.Max(arrive, *dstFree+ser)
+	*dstFree = deliver
+
+	n.inflight.Push(deliver, m)
+}
+
+// Tick delivers every message that has arrived by cycle now.
+func (n *Network) Tick(now timing.Cycle) bool {
+	did := false
+	for {
+		m, ok := n.inflight.PopReady(now)
+		if !ok {
+			return did
+		}
+		did = true
+		n.nodes[m.Dst].Deliver(m)
+	}
+}
+
+// NextEvent returns the earliest pending delivery time.
+func (n *Network) NextEvent() timing.Cycle { return n.inflight.NextReady() }
+
+// Drained reports whether no messages are in flight.
+func (n *Network) Drained() bool { return n.inflight.Len() == 0 }
+
+// serialization returns the cycles a message of the given flit count
+// occupies one port.
+func (n *Network) serialization(flits int) timing.Cycle {
+	per := n.cfg.PortFlitsPerCycle
+	if per < 1 {
+		per = 1
+	}
+	return timing.Cycle((flits + per - 1) / per)
+}
+
+// MinLatency returns the unloaded one-way latency of a message with the
+// given flit count (used by tests to calibrate round trips).
+func (n *Network) MinLatency(flits int) timing.Cycle {
+	return n.serialization(flits) + timing.Cycle(n.cfg.NoCPipeLatency)
+}

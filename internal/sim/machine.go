@@ -1,0 +1,333 @@
+// Package sim assembles the full machine — SMs, L1 controllers, crossbar
+// interconnect, L2 partitions, DRAM channels — for a chosen coherence
+// protocol and runs a workload to completion. The run loop is cycle-driven
+// with event-based fast-forwarding: when a cycle performs no work, the
+// clock jumps to the earliest pending event, so memory-bound phases cost
+// little host time while remaining bit-deterministic.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"rccsim/internal/coherence"
+	"rccsim/internal/coherence/mesi"
+	"rccsim/internal/coherence/tc"
+	"rccsim/internal/config"
+	"rccsim/internal/core"
+	"rccsim/internal/energy"
+	"rccsim/internal/gpu"
+	"rccsim/internal/mem"
+	"rccsim/internal/noc"
+	"rccsim/internal/stats"
+	"rccsim/internal/timing"
+	"rccsim/internal/workload"
+)
+
+// rollover coordinator phases.
+const (
+	roIdle     = iota
+	roStalling // ring stall in progress; waiting for the NoC to drain
+	roFlushing // L1 flush round trip in progress
+)
+
+// Machine is one simulated GPU running one program.
+type Machine struct {
+	cfg     config.Config
+	st      *stats.Run
+	network *noc.Network
+	sms     []*gpu.SM
+	l1s     []coherence.L1
+	l2s     []coherence.L2
+	backing *mem.Backing
+	now     timing.Cycle
+	nextID  uint64
+
+	// RCC rollover coordination.
+	rccL1s    []*core.L1
+	rccL2s    []*core.L2
+	roState   int
+	roReadyAt timing.Cycle
+	roStart   timing.Cycle
+}
+
+// New builds a machine for cfg executing prog. obs may be nil; it receives
+// every load result (used by the litmus/SC checkers).
+func New(cfg config.Config, prog *workload.Program, obs gpu.Observer) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(prog.SMs) != cfg.NumSMs {
+		return nil, fmt.Errorf("sim: program has %d SMs, config has %d", len(prog.SMs), cfg.NumSMs)
+	}
+	if err := prog.Validate(cfg.WarpWidth); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:     cfg,
+		st:      stats.New(),
+		backing: mem.NewBacking(),
+	}
+	m.network = noc.New(cfg, m.st)
+
+	drams := make([]*mem.DRAM, cfg.L2Partitions)
+	for p := range drams {
+		drams[p] = mem.NewDRAM(cfg, m.st)
+	}
+
+	// L2 partitions.
+	for p := 0; p < cfg.L2Partitions; p++ {
+		var l2 coherence.L2
+		switch cfg.Protocol {
+		case config.RCC, config.RCCWO:
+			r := core.NewL2(cfg, p, m.network, m.st, drams[p], m.backing, m.requestRollover)
+			m.rccL2s = append(m.rccL2s, r)
+			l2 = r
+		case config.TCS:
+			l2 = tc.NewL2(cfg, p, false, m.network, m.st, drams[p], m.backing)
+		case config.TCW:
+			l2 = tc.NewL2(cfg, p, true, m.network, m.st, drams[p], m.backing)
+		case config.MESI:
+			l2 = mesi.NewL2(cfg, p, false, m.network, m.st, drams[p], m.backing, nil)
+		case config.SCIdeal:
+			l2 = mesi.NewL2(cfg, p, true, m.network, m.st, drams[p], m.backing, m.zapL1)
+		default:
+			return nil, fmt.Errorf("sim: unknown protocol %v", cfg.Protocol)
+		}
+		m.l2s = append(m.l2s, l2)
+		m.network.Register(coherence.L2NodeID(p, cfg.NumSMs), l2)
+	}
+
+	// SMs and their L1s.
+	for s := 0; s < cfg.NumSMs; s++ {
+		var l1 coherence.L1
+		switch cfg.Protocol {
+		case config.RCC, config.RCCWO:
+			clk := core.NewClock(cfg.Protocol == config.RCCWO)
+			r := core.NewL1(cfg, s, m.network, nil, m.st, clk)
+			m.rccL1s = append(m.rccL1s, r)
+			l1 = r
+		case config.TCS:
+			l1 = tc.NewL1(cfg, s, false, m.network, nil, m.st)
+		case config.TCW:
+			l1 = tc.NewL1(cfg, s, true, m.network, nil, m.st)
+		case config.MESI, config.SCIdeal:
+			l1 = mesi.NewL1(cfg, s, m.network, nil, m.st)
+		}
+		m.l1s = append(m.l1s, l1)
+		m.network.Register(s, l1)
+		sm := gpu.NewSM(cfg, s, l1, m.st, prog.SMs[s], &m.nextID, obs)
+		m.sms = append(m.sms, sm)
+		bindSink(l1, sm)
+	}
+	return m, nil
+}
+
+// bindSink wires the completion path from an L1 back to its SM.
+func bindSink(l1 coherence.L1, sm *gpu.SM) {
+	switch c := l1.(type) {
+	case *core.L1:
+		c.SetSink(sm)
+	case *tc.L1:
+		c.SetSink(sm)
+	case *mesi.L1:
+		c.SetSink(sm)
+	}
+}
+
+func (m *Machine) zapL1(coreID int, line uint64) {
+	m.l1s[coreID].(*mesi.L1).Zap(line)
+}
+
+// Now returns the current cycle.
+func (m *Machine) Now() timing.Cycle { return m.now }
+
+// Stats returns the live counter set.
+func (m *Machine) Stats() *stats.Run { return m.st }
+
+// Backing returns the DRAM value image (tests inspect final memory).
+func (m *Machine) Backing() *mem.Backing { return m.backing }
+
+// Done reports whether every warp retired and the memory system drained.
+func (m *Machine) Done() bool {
+	for _, sm := range m.sms {
+		if !sm.Done() {
+			return false
+		}
+	}
+	if !m.network.Drained() {
+		return false
+	}
+	for _, l1 := range m.l1s {
+		if !l1.Drained() {
+			return false
+		}
+	}
+	for _, l2 := range m.l2s {
+		if !l2.Drained() {
+			return false
+		}
+	}
+	return m.roState == roIdle
+}
+
+// Step advances the machine by one cycle (or one idle jump) and reports
+// whether any component did work.
+func (m *Machine) Step() bool {
+	now := m.now
+	did := false
+	for _, sm := range m.sms {
+		if sm.Tick(now) {
+			did = true
+		}
+	}
+	for _, l1 := range m.l1s {
+		if l1.Tick(now) {
+			did = true
+		}
+	}
+	if m.network.Tick(now) {
+		did = true
+	}
+	for _, l2 := range m.l2s {
+		if l2.Tick(now) {
+			did = true
+		}
+	}
+	if m.tickRollover(now) {
+		did = true
+	}
+
+	if did {
+		m.now = now + 1
+		return true
+	}
+	next := m.nextEvent(now)
+	if next <= now {
+		next = now + 1
+	}
+	m.now = next
+	return false
+}
+
+func (m *Machine) nextEvent(now timing.Cycle) timing.Cycle {
+	next := timing.Never
+	for _, sm := range m.sms {
+		next = timing.Min(next, sm.NextEvent(now))
+	}
+	for _, l1 := range m.l1s {
+		next = timing.Min(next, l1.NextEvent(now))
+	}
+	next = timing.Min(next, m.network.NextEvent())
+	for _, l2 := range m.l2s {
+		next = timing.Min(next, l2.NextEvent(now))
+	}
+	if m.roState != roIdle {
+		next = timing.Min(next, m.roReadyAt)
+	}
+	return next
+}
+
+// Run executes until completion and returns the final counters.
+func (m *Machine) Run() (*stats.Run, error) {
+	idleJumps := 0
+	for !m.Done() {
+		if m.cfg.MaxCycles > 0 && uint64(m.now) > m.cfg.MaxCycles {
+			return m.st, fmt.Errorf("sim: exceeded MaxCycles=%d (livelock or deadlock?)", m.cfg.MaxCycles)
+		}
+		did := m.Step()
+		if did {
+			idleJumps = 0
+			continue
+		}
+		idleJumps++
+		if idleJumps > 1000 {
+			return m.st, errors.New("sim: machine idle but not done (protocol deadlock)")
+		}
+	}
+	m.st.Cycles = uint64(m.now)
+	return m.st, nil
+}
+
+// requestRollover is invoked by an RCC L2 partition whose timestamps are
+// about to overflow (Sec. III-D).
+func (m *Machine) requestRollover() {
+	if m.roState != roIdle {
+		return
+	}
+	m.roState = roStalling
+	m.roStart = m.now
+	// Ring stall: a flit visits every partition before processing stops
+	// everywhere.
+	m.roReadyAt = m.now + timing.Cycle(4*m.cfg.L2Partitions)
+	for _, l1 := range m.rccL1s {
+		l1.Freeze(true)
+	}
+	for _, l2 := range m.rccL2s {
+		l2.Freeze(true)
+	}
+}
+
+// tickRollover advances the rollover state machine.
+func (m *Machine) tickRollover(now timing.Cycle) bool {
+	switch m.roState {
+	case roIdle:
+		return false
+	case roStalling:
+		if now < m.roReadyAt || !m.network.Drained() {
+			return false
+		}
+		// Everything quiesced: reset all L2 timestamps and start the
+		// flush round trip to the L1s.
+		for _, l2 := range m.rccL2s {
+			l2.ResetTimestamps()
+		}
+		flushRT := 2 * (timing.Cycle(m.cfg.NoCPipeLatency) +
+			timing.Cycle((m.cfg.ControlFlits()+m.cfg.PortFlitsPerCycle-1)/m.cfg.PortFlitsPerCycle))
+		m.roState = roFlushing
+		m.roReadyAt = now + flushRT
+		// Account the flush/ack control traffic explicitly.
+		for range m.rccL1s {
+			m.st.Traffic(stats.MsgFlushCt, m.cfg.ControlFlits())
+			m.st.Traffic(stats.MsgFlushCt, m.cfg.ControlFlits())
+		}
+		return true
+	case roFlushing:
+		if now < m.roReadyAt {
+			return false
+		}
+		for _, l1 := range m.rccL1s {
+			l1.FlushNow(now)
+			l1.Freeze(false)
+		}
+		for _, l2 := range m.rccL2s {
+			l2.Freeze(false)
+		}
+		m.st.Rollovers++
+		m.st.RolloverStall += uint64(now - m.roStart)
+		m.roState = roIdle
+		return true
+	}
+	return false
+}
+
+// Result bundles a finished run for the experiment harness.
+type Result struct {
+	Config config.Config
+	Stats  *stats.Run
+	Energy energy.Breakdown
+}
+
+// RunBenchmark generates and executes benchmark b under cfg.
+func RunBenchmark(cfg config.Config, b workload.Benchmark) (Result, error) {
+	prog := b.Generate(cfg)
+	m, err := New(cfg, prog, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := m.Run()
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/%v: %w", b.Name, cfg.Protocol, err)
+	}
+	return Result{Config: cfg, Stats: st, Energy: energy.Interconnect(cfg, st)}, nil
+}

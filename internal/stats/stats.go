@@ -1,0 +1,293 @@
+// Package stats collects every counter the paper's evaluation reports:
+// cycle counts, SC stall cycles attributed to the blocking operation type
+// (Figs 1a/1b/8), load/store/atomic latencies (Fig 1c), L1 lease-expiry and
+// renewal rates (Figs 6/7), interconnect traffic by message class (Figs
+// 7/9c), and the inputs to the interconnect energy model (Fig 9b).
+//
+// The simulator is single-threaded, so counters are plain integers.
+package stats
+
+import "fmt"
+
+// OpClass classifies a memory operation for latency and stall-blame
+// accounting.
+type OpClass int
+
+const (
+	OpLoad OpClass = iota
+	OpStore
+	OpAtomic
+	numOpClasses
+)
+
+func (o OpClass) String() string {
+	switch o {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpAtomic:
+		return "atomic"
+	}
+	return fmt.Sprintf("OpClass(%d)", int(o))
+}
+
+// MsgClass classifies interconnect messages for the Fig 9c traffic
+// breakdown.
+type MsgClass int
+
+const (
+	MsgReq     MsgClass = iota // GETS / read requests (control size)
+	MsgStData                  // WRITE and ATOMIC requests (carry a line)
+	MsgLdData                  // DATA responses (carry a line)
+	MsgAckCtl                  // store/atomic ACKs (control size)
+	MsgRenewCt                 // RENEW lease-extension grants (control size)
+	MsgInvCtl                  // MESI invalidates, recalls and their acks
+	MsgFlushCt                 // RCC rollover flush / flush-ack
+	numMsgClasses
+)
+
+func (m MsgClass) String() string {
+	switch m {
+	case MsgReq:
+		return "request"
+	case MsgStData:
+		return "store-data"
+	case MsgLdData:
+		return "load-data"
+	case MsgAckCtl:
+		return "ack"
+	case MsgRenewCt:
+		return "renew"
+	case MsgInvCtl:
+		return "inv"
+	case MsgFlushCt:
+		return "flush"
+	}
+	return fmt.Sprintf("MsgClass(%d)", int(m))
+}
+
+// MsgClasses lists all message classes in display order.
+func MsgClasses() []MsgClass {
+	out := make([]MsgClass, numMsgClasses)
+	for i := range out {
+		out[i] = MsgClass(i)
+	}
+	return out
+}
+
+// LatencyAcc accumulates a latency distribution (sum, count, max).
+type LatencyAcc struct {
+	Sum   uint64
+	Count uint64
+	Max   uint64
+}
+
+// Add records one sample.
+func (l *LatencyAcc) Add(v uint64) {
+	l.Sum += v
+	l.Count++
+	if v > l.Max {
+		l.Max = v
+	}
+}
+
+// Mean returns the average sample, or 0 with no samples.
+func (l *LatencyAcc) Mean() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return float64(l.Sum) / float64(l.Count)
+}
+
+// Run holds every counter for one simulation.
+type Run struct {
+	// Progress.
+	Cycles       uint64
+	Instructions uint64
+	MemOps       uint64 // warp-level global memory instructions issued
+
+	// SC ordering stalls (Figs 1a, 1b, 8 top).
+	MemOpsStalled    uint64               // memory ops that waited >=1 cycle on a prior access
+	SCStallCycles    [numOpClasses]uint64 // stall cycles blamed on the outstanding op's class
+	SCStallEvents    uint64               // distinct stall episodes
+	LocalStallCycles uint64               // scratchpad ops stalled behind globals (subset semantics: included in SCStallCycles blame too)
+
+	// Fence stalls (WO modes).
+	FenceStallCycles uint64
+	Fences           uint64
+
+	// Per-class warp-level access latency, issue to completion (Fig 1c),
+	// with log-scale histograms for tail analysis.
+	Latency     [numOpClasses]LatencyAcc
+	LatencyHist [numOpClasses]Histogram
+
+	// L1 behaviour (Fig 6 left, Fig 7 right).
+	L1Loads       uint64 // line-level load lookups
+	L1LoadHits    uint64
+	L1LoadExpired uint64 // found V but lease expired (RCC/TC)
+	L1LoadMisses  uint64 // true misses (tag absent or invalid)
+	L1Stores      uint64
+	L1Evictions   uint64
+	L1Renewed     uint64 // loads satisfied by a RENEW grant
+
+	// L2 behaviour.
+	L2Accesses         uint64
+	L2Misses           uint64
+	L2Evictions        uint64
+	L2StoreStallCycles uint64 // TCS: cycles stores spent waiting for lease expiry
+
+	// Renewal opportunity (Fig 6 right): GETS whose requester held an
+	// expired copy, and how many of those found the block unchanged.
+	ExpiredGets          uint64
+	ExpiredGetsRenewable uint64
+
+	// RCC lease predictor.
+	PredictorGrows uint64
+	PredictorDrops uint64
+
+	// RCC timestamp rollovers (Sec. III-D).
+	Rollovers     uint64
+	RolloverStall uint64 // cycles the machine spent stalled rolling over
+
+	// DRAM.
+	DRAMReads     uint64
+	DRAMWrites    uint64
+	DRAMRowHits   uint64
+	DRAMRowMisses uint64
+
+	// Interconnect traffic (Figs 7 left, 9c).
+	Msgs  [numMsgClasses]uint64
+	Flits [numMsgClasses]uint64
+
+	// MESI-specific.
+	Invalidations uint64
+	Recalls       uint64
+}
+
+// New returns an empty counter set.
+func New() *Run { return &Run{} }
+
+// Traffic records one message of class c with the given flit count.
+func (r *Run) Traffic(c MsgClass, flits int) {
+	r.Msgs[c]++
+	r.Flits[c] += uint64(flits)
+}
+
+// TotalFlits sums flits over all message classes.
+func (r *Run) TotalFlits() uint64 {
+	var t uint64
+	for _, f := range r.Flits {
+		t += f
+	}
+	return t
+}
+
+// TotalSCStallCycles sums stall cycles over all blame classes.
+func (r *Run) TotalSCStallCycles() uint64 {
+	var t uint64
+	for _, c := range r.SCStallCycles {
+		t += c
+	}
+	return t
+}
+
+// StoreBlameFraction returns the fraction of SC stall cycles blamed on a
+// prior store or atomic (Fig 1b).
+func (r *Run) StoreBlameFraction() float64 {
+	tot := r.TotalSCStallCycles()
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.SCStallCycles[OpStore]+r.SCStallCycles[OpAtomic]) / float64(tot)
+}
+
+// StalledOpFraction returns the fraction of memory ops that experienced an
+// SC stall (Fig 1a).
+func (r *Run) StalledOpFraction() float64 {
+	if r.MemOps == 0 {
+		return 0
+	}
+	return float64(r.MemOpsStalled) / float64(r.MemOps)
+}
+
+// MeanSCStallLatency is the average duration of one SC stall episode
+// (Fig 8 bottom).
+func (r *Run) MeanSCStallLatency() float64 {
+	if r.SCStallEvents == 0 {
+		return 0
+	}
+	return float64(r.TotalSCStallCycles()) / float64(r.SCStallEvents)
+}
+
+// L1ExpiredFraction is the fraction of L1 load lookups that found the block
+// valid but expired (Fig 6 left).
+func (r *Run) L1ExpiredFraction() float64 {
+	if r.L1Loads == 0 {
+		return 0
+	}
+	return float64(r.L1LoadExpired) / float64(r.L1Loads)
+}
+
+// RenewableFraction is the fraction of expired-copy GETS that found the L2
+// block unchanged (Fig 6 right).
+func (r *Run) RenewableFraction() float64 {
+	if r.ExpiredGets == 0 {
+		return 0
+	}
+	return float64(r.ExpiredGetsRenewable) / float64(r.ExpiredGets)
+}
+
+// IPC returns warp instructions per cycle.
+func (r *Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// histBuckets is the number of power-of-two latency buckets (bucket i
+// holds samples with floor(log2(v)) == i; bucket 0 holds v <= 1).
+const histBuckets = 24
+
+// Histogram is a log-scale latency histogram. Buckets are powers of two,
+// which is plenty of resolution for "how heavy is the tail" questions at
+// zero allocation cost.
+type Histogram struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	i := 0
+	for v > 1 && i < histBuckets-1 {
+		v >>= 1
+		i++
+	}
+	h.Buckets[i]++
+	h.Count++
+}
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,1]):
+// the top edge of the bucket containing that rank. Zero with no samples.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(h.Count-1))
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen > rank {
+			return 1 << uint(i)
+		}
+	}
+	return 1 << (histBuckets - 1)
+}

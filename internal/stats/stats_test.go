@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestLatencyAcc(t *testing.T) {
+	var l LatencyAcc
+	if l.Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	l.Add(10)
+	l.Add(30)
+	if !almost(l.Mean(), 20) {
+		t.Fatalf("mean = %v, want 20", l.Mean())
+	}
+	if l.Max != 30 || l.Count != 2 || l.Sum != 40 {
+		t.Fatalf("acc = %+v", l)
+	}
+}
+
+func TestTraffic(t *testing.T) {
+	r := New()
+	r.Traffic(MsgReq, 2)
+	r.Traffic(MsgLdData, 34)
+	r.Traffic(MsgLdData, 34)
+	if r.Msgs[MsgReq] != 1 || r.Flits[MsgReq] != 2 {
+		t.Fatal("request traffic wrong")
+	}
+	if r.Msgs[MsgLdData] != 2 || r.Flits[MsgLdData] != 68 {
+		t.Fatal("data traffic wrong")
+	}
+	if r.TotalFlits() != 70 {
+		t.Fatalf("total flits = %d, want 70", r.TotalFlits())
+	}
+}
+
+func TestStallDerivedMetrics(t *testing.T) {
+	r := New()
+	r.MemOps = 100
+	r.MemOpsStalled = 25
+	r.SCStallCycles[OpLoad] = 100
+	r.SCStallCycles[OpStore] = 250
+	r.SCStallCycles[OpAtomic] = 50
+	r.SCStallEvents = 40
+	if !almost(r.StalledOpFraction(), 0.25) {
+		t.Fatalf("stalled fraction = %v", r.StalledOpFraction())
+	}
+	if !almost(r.StoreBlameFraction(), 0.75) {
+		t.Fatalf("store blame = %v", r.StoreBlameFraction())
+	}
+	if !almost(r.MeanSCStallLatency(), 10) {
+		t.Fatalf("mean stall latency = %v", r.MeanSCStallLatency())
+	}
+	if r.TotalSCStallCycles() != 400 {
+		t.Fatalf("total stall cycles = %d", r.TotalSCStallCycles())
+	}
+}
+
+func TestExpiryMetrics(t *testing.T) {
+	r := New()
+	r.L1Loads = 200
+	r.L1LoadExpired = 50
+	r.ExpiredGets = 50
+	r.ExpiredGetsRenewable = 40
+	if !almost(r.L1ExpiredFraction(), 0.25) {
+		t.Fatal("expired fraction wrong")
+	}
+	if !almost(r.RenewableFraction(), 0.8) {
+		t.Fatal("renewable fraction wrong")
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	r := New()
+	for _, f := range []float64{
+		r.StalledOpFraction(), r.StoreBlameFraction(), r.MeanSCStallLatency(),
+		r.L1ExpiredFraction(), r.RenewableFraction(), r.IPC(),
+	} {
+		if f != 0 {
+			t.Fatalf("zero-sample metric returned %v", f)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if OpLoad.String() != "load" || OpStore.String() != "store" || OpAtomic.String() != "atomic" {
+		t.Fatal("op class strings wrong")
+	}
+	seen := map[string]bool{}
+	for _, c := range MsgClasses() {
+		s := c.String()
+		if seen[s] {
+			t.Fatalf("duplicate class string %q", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != int(numMsgClasses) {
+		t.Fatalf("MsgClasses returned %d classes", len(seen))
+	}
+}
+
+func TestIPC(t *testing.T) {
+	r := New()
+	r.Cycles = 1000
+	r.Instructions = 2500
+	if !almost(r.IPC(), 2.5) {
+		t.Fatalf("IPC = %v", r.IPC())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Percentile(0.5) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	for i := 0; i < 90; i++ {
+		h.Add(10) // bucket 3 (8..15)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(5000) // bucket 12
+	}
+	if h.Count != 100 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if p := h.Percentile(0.5); p != 8 {
+		t.Fatalf("p50 = %d, want 8", p)
+	}
+	if p := h.Percentile(0.99); p != 4096 {
+		t.Fatalf("p99 = %d, want 4096", p)
+	}
+	if h.Percentile(0) == 0 || h.Percentile(1) == 0 {
+		t.Fatal("extreme percentiles broken")
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	var h Histogram
+	h.Add(1 << 60) // beyond the last bucket
+	if h.Buckets[histBuckets-1] != 1 {
+		t.Fatal("huge sample not clamped to last bucket")
+	}
+	h.Add(0)
+	if h.Buckets[0] != 1 {
+		t.Fatal("zero sample not in bucket 0")
+	}
+	if h.Percentile(-1) == 0 || h.Percentile(2) == 0 {
+		t.Fatal("out-of-range p should clamp, not zero")
+	}
+}

@@ -1,0 +1,182 @@
+// Package timing provides the basic clocking primitives shared by every
+// component of the simulator: the Cycle type, a "never" sentinel used by
+// components to report that they have no pending events, a deterministic
+// pseudo-random number generator, and a small ready-time priority queue
+// used to model fixed-latency pipes.
+package timing
+
+import "math"
+
+// Cycle is a point in simulated time, measured in GPU core clock cycles
+// (1.4 GHz in the default configuration).
+type Cycle uint64
+
+// Never is the sentinel returned by NextEvent methods when a component has
+// no pending work; the run loop treats it as "infinitely far in the future".
+const Never Cycle = math.MaxUint64
+
+// Min returns the earlier of two cycles.
+func Min(a, b Cycle) Cycle {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the later of two cycles.
+func Max(a, b Cycle) Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RNG is a deterministic xorshift64* pseudo-random number generator.
+// Every source of randomness in the simulator (workload generation only;
+// the machine model itself is fully deterministic) flows through an RNG
+// seeded from the run configuration, so identical configurations produce
+// bit-identical runs.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has a zero fixpoint.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("timing: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a value in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("timing: Uint64n called with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Fork derives an independent generator; the child stream is a pure
+// function of the parent state, so forking remains deterministic.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() | 1)
+}
+
+// Item is an element of a Queue: a payload that becomes visible at a
+// specific cycle.
+type Item[T any] struct {
+	ReadyAt Cycle
+	Val     T
+	seq     uint64
+}
+
+// Queue is a min-heap of items ordered by ready time, with FIFO tiebreak
+// for items that become ready on the same cycle. It models a latency pipe:
+// producers Push with a computed ready time; consumers PopReady each cycle.
+type Queue[T any] struct {
+	items []Item[T]
+	seq   uint64
+}
+
+// Len reports the number of queued items (ready or not).
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push inserts v so that it becomes visible at cycle at.
+func (q *Queue[T]) Push(at Cycle, v T) {
+	q.seq++
+	q.items = append(q.items, Item[T]{ReadyAt: at, Val: v, seq: q.seq})
+	q.up(len(q.items) - 1)
+}
+
+// NextReady returns the earliest ready time in the queue, or Never if the
+// queue is empty.
+func (q *Queue[T]) NextReady() Cycle {
+	if len(q.items) == 0 {
+		return Never
+	}
+	return q.items[0].ReadyAt
+}
+
+// PopReady removes and returns the earliest item if it is ready at cycle
+// now. The second result reports whether an item was returned.
+func (q *Queue[T]) PopReady(now Cycle) (T, bool) {
+	var zero T
+	if len(q.items) == 0 || q.items[0].ReadyAt > now {
+		return zero, false
+	}
+	v := q.items[0].Val
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return v, true
+}
+
+func (q *Queue[T]) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.ReadyAt != b.ReadyAt {
+		return a.ReadyAt < b.ReadyAt
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

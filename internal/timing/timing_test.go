@@ -1,0 +1,157 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Fatal("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatal("Max broken")
+	}
+	if Min(Never, 7) != 7 {
+		t.Fatal("Min with Never broken")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced stuck stream")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(1)
+	child := parent.Fork()
+	// The child must be deterministic given the parent state.
+	parent2 := NewRNG(1)
+	child2 := parent2.Fork()
+	for i := 0; i < 100; i++ {
+		if child.Uint64() != child2.Uint64() {
+			t.Fatal("forked streams not deterministic")
+		}
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue[int]
+	q.Push(30, 3)
+	q.Push(10, 1)
+	q.Push(20, 2)
+	if q.NextReady() != 10 {
+		t.Fatalf("NextReady = %d, want 10", q.NextReady())
+	}
+	if _, ok := q.PopReady(5); ok {
+		t.Fatal("popped before ready")
+	}
+	v, ok := q.PopReady(100)
+	if !ok || v != 1 {
+		t.Fatalf("pop1 = %d,%v", v, ok)
+	}
+	v, _ = q.PopReady(100)
+	if v != 2 {
+		t.Fatalf("pop2 = %d", v)
+	}
+	v, _ = q.PopReady(100)
+	if v != 3 {
+		t.Fatalf("pop3 = %d", v)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty")
+	}
+	if q.NextReady() != Never {
+		t.Fatal("empty queue NextReady != Never")
+	}
+}
+
+func TestQueueFIFOTiebreak(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 50; i++ {
+		q.Push(7, i)
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := q.PopReady(7)
+		if !ok || v != i {
+			t.Fatalf("tiebreak order broken: got %d want %d", v, i)
+		}
+	}
+}
+
+func TestQueuePropertySorted(t *testing.T) {
+	// Property: popping everything yields a non-decreasing ready order.
+	f := func(times []uint16) bool {
+		var q Queue[Cycle]
+		for _, tm := range times {
+			q.Push(Cycle(tm), Cycle(tm))
+		}
+		prev := Cycle(0)
+		for q.Len() > 0 {
+			v, ok := q.PopReady(Never - 1)
+			if !ok || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueInterleavedPushPop(t *testing.T) {
+	var q Queue[int]
+	r := NewRNG(3)
+	next := 0
+	popped := 0
+	for step := 0; step < 2000; step++ {
+		if r.Bool(0.6) || q.Len() == 0 {
+			q.Push(Cycle(r.Intn(1000)), next)
+			next++
+		} else {
+			if _, ok := q.PopReady(Never - 1); ok {
+				popped++
+			}
+		}
+	}
+	for q.Len() > 0 {
+		q.PopReady(Never - 1)
+		popped++
+	}
+	if popped != next {
+		t.Fatalf("popped %d, pushed %d", popped, next)
+	}
+}

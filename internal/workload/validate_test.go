@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"rccsim/internal/config"
+)
+
+func TestValidateAcceptsGenerators(t *testing.T) {
+	cfg := config.Small()
+	for _, b := range All() {
+		if err := b.Generate(cfg).Validate(cfg.WarpWidth); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsEmptyMemOp(t *testing.T) {
+	p := &Program{SMs: [][]Trace{{{{Op: OpLoad}}}}}
+	if err := p.Validate(32); err == nil || !strings.Contains(err.Error(), "no lines") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsOverwideAccess(t *testing.T) {
+	lines := make([]uint64, 40)
+	p := &Program{SMs: [][]Trace{{{{Op: OpStore, Lines: lines}}}}}
+	if err := p.Validate(32); err == nil || !strings.Contains(err.Error(), "lanes") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsLinesOnCompute(t *testing.T) {
+	p := &Program{SMs: [][]Trace{{{{Op: OpCompute, Lines: []uint64{1}}}}}}
+	if err := p.Validate(32); err == nil || !strings.Contains(err.Error(), "carries lines") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsMismatchedBarriers(t *testing.T) {
+	p := &Program{SMs: [][]Trace{{
+		{{Op: OpBarrier}},
+		{{Op: OpCompute, Lat: 1}},
+	}}}
+	if err := p.Validate(32); err == nil || !strings.Contains(err.Error(), "barriers") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateAllowsEmptyWarps(t *testing.T) {
+	p := &Program{SMs: [][]Trace{{
+		{{Op: OpBarrier}},
+		nil,
+	}}}
+	if err := p.Validate(32); err != nil {
+		t.Fatalf("empty warp rejected: %v", err)
+	}
+}
+
+func TestValidateDefaultWarpWidth(t *testing.T) {
+	p := &Program{SMs: [][]Trace{{{{Op: OpLoad, Lines: []uint64{1}}}}}}
+	if err := p.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+}

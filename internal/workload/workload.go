@@ -1,0 +1,178 @@
+// Package workload defines the warp-level instruction traces the simulated
+// GPU executes, and generates the twelve benchmarks of Table IV as
+// synthetic kernels that reproduce each application's communication
+// structure (inter- vs intra-workgroup sharing, work queues, frontiers,
+// halos, locks, streaming) deterministically from a seed.
+//
+// Traces are post-coalescing: a memory instruction carries the set of
+// cache-line addresses the warp's 32 lanes touch after coalescing (one
+// line when fully coalesced, more under memory divergence).
+package workload
+
+import (
+	"fmt"
+
+	"rccsim/internal/config"
+	"rccsim/internal/timing"
+)
+
+// OpKind is a warp-level instruction kind.
+type OpKind uint8
+
+const (
+	// OpCompute models ALU work: the warp is busy for Lat cycles.
+	OpCompute OpKind = iota
+	// OpLocal is a scratchpad (shared-memory) access: short fixed
+	// latency, no interconnect, but stalled behind outstanding global
+	// accesses under SC.
+	OpLocal
+	// OpLoad is a global load.
+	OpLoad
+	// OpStore is a global write-through store.
+	OpStore
+	// OpAtomic is a global read-modify-write performed at the L2.
+	OpAtomic
+	// OpFence is a memory fence: a hardware no-op under SC, a
+	// completion barrier under WO.
+	OpFence
+	// OpBarrier synchronizes all warps of the SM (threadblock barrier).
+	OpBarrier
+)
+
+// String returns a mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "COMPUTE"
+	case OpLocal:
+		return "LOCAL"
+	case OpLoad:
+		return "LD"
+	case OpStore:
+		return "ST"
+	case OpAtomic:
+		return "ATOM"
+	case OpFence:
+		return "FENCE"
+	case OpBarrier:
+		return "BAR"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// IsGlobal reports whether the op accesses global memory.
+func (k OpKind) IsGlobal() bool { return k == OpLoad || k == OpStore || k == OpAtomic }
+
+// Instr is one warp-level instruction.
+type Instr struct {
+	Op    OpKind
+	Lines []uint64 // coalesced line addresses (global ops)
+	Lat   uint32   // busy cycles (OpCompute / OpLocal)
+	Val   uint64   // store value / atomic operand
+}
+
+// Trace is the instruction sequence of one warp.
+type Trace []Instr
+
+// Program is a full kernel: one trace per warp per SM.
+type Program struct {
+	SMs [][]Trace // SMs[sm][warp]
+}
+
+// Stats summarises a program (used by tests and tools).
+type Stats struct {
+	Instrs, Loads, Stores, Atomics, Fences, Barriers, Locals, Computes int
+}
+
+// Count tallies instruction kinds.
+func (p *Program) Count() Stats {
+	var s Stats
+	for _, sm := range p.SMs {
+		for _, tr := range sm {
+			for _, in := range tr {
+				s.Instrs++
+				switch in.Op {
+				case OpLoad:
+					s.Loads++
+				case OpStore:
+					s.Stores++
+				case OpAtomic:
+					s.Atomics++
+				case OpFence:
+					s.Fences++
+				case OpBarrier:
+					s.Barriers++
+				case OpLocal:
+					s.Locals++
+				case OpCompute:
+					s.Computes++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Benchmark is one entry of Table IV.
+type Benchmark struct {
+	Name  string // paper abbreviation (BH, BFS, ...)
+	Desc  string
+	Inter bool // inter-workgroup (cross-SM) sharing
+	Gen   func(cfg config.Config, rng *timing.RNG) *Program
+}
+
+// All returns the twelve benchmarks in the paper's order: six with
+// inter-workgroup communication, six with intra-workgroup communication.
+func All() []Benchmark {
+	return []Benchmark{
+		{Name: "BH", Desc: "Barnes-Hut n-body tree build and force computation", Inter: true, Gen: genBH},
+		{Name: "BFS", Desc: "breadth-first search with a shared frontier mask", Inter: true, Gen: genBFS},
+		{Name: "CL", Desc: "cloth physics with cross-block neighbour reads", Inter: true, Gen: genCL},
+		{Name: "DLB", Desc: "work-stealing octree partitioning (per-block queues)", Inter: true, Gen: genDLB},
+		{Name: "STN", Desc: "stencil solver with fast inter-block barriers", Inter: true, Gen: genSTN},
+		{Name: "VPR", Desc: "place & route over a lock-protected shared grid", Inter: true, Gen: genVPR},
+		{Name: "HSP", Desc: "hotspot 2D thermal simulation (tiled, private)", Inter: false, Gen: genHSP},
+		{Name: "KMN", Desc: "k-means clustering (streaming reads, local accumulation)", Inter: false, Gen: genKMN},
+		{Name: "LPS", Desc: "3D Laplace solver (structured private tiles)", Inter: false, Gen: genLPS},
+		{Name: "NDL", Desc: "Needleman-Wunsch wavefront within blocks", Inter: false, Gen: genNDL},
+		{Name: "SR", Desc: "speckle-reducing anisotropic diffusion (streaming)", Inter: false, Gen: genSR},
+		{Name: "LUD", Desc: "LU decomposition on per-block tiles", Inter: false, Gen: genLUD},
+	}
+}
+
+// Inter returns the inter-workgroup benchmarks.
+func Inter() []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if b.Inter {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Intra returns the intra-workgroup benchmarks.
+func Intra() []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if !b.Inter {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName looks a benchmark up by its paper abbreviation.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Generate builds the program for b under cfg (deterministic in cfg.Seed).
+func (b Benchmark) Generate(cfg config.Config) *Program {
+	return b.Gen(cfg, timing.NewRNG(cfg.Seed*1000003+uint64(len(b.Name))))
+}

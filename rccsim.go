@@ -1,0 +1,119 @@
+// Package rccsim is a cycle-level GPU memory-system simulator built to
+// reproduce "Efficient Sequential Consistency in GPUs via Relativistic
+// Cache Coherence" (Ren & Lis, HPCA 2017).
+//
+// The simulator models a Fermi-class GPU (16 SMs × 48 warps, write-through
+// L1s, an 8-partition write-back L2, dual-crossbar NoC, GDDR DRAM) under
+// five coherence protocols:
+//
+//   - RCC, the paper's contribution: logical-timestamp leases with instant
+//     write permissions, sequentially consistent (plus RCC-WO, its weakly
+//     ordered variant);
+//   - TC-Strong and TC-Weak, the physical-timestamp baselines;
+//   - MESI, a directory protocol on write-through L1s;
+//   - SC-IDEAL, MESI with free, instant coherence permissions.
+//
+// The quickest way in:
+//
+//	cfg := rccsim.DefaultConfig()
+//	cfg.Protocol = rccsim.RCC
+//	res, err := rccsim.Run(cfg, "BFS")
+//
+// Every figure and table of the paper's evaluation can be regenerated via
+// Experiments (or the cmd/rccbench tool).
+package rccsim
+
+import (
+	"fmt"
+
+	"rccsim/internal/config"
+	"rccsim/internal/energy"
+	"rccsim/internal/experiments"
+	"rccsim/internal/gpu"
+	"rccsim/internal/sim"
+	"rccsim/internal/stats"
+	"rccsim/internal/workload"
+)
+
+// Config is the machine description; DefaultConfig matches Table III of
+// the paper.
+type Config = config.Config
+
+// Protocol selects the coherence protocol.
+type Protocol = config.Protocol
+
+// Protocol values.
+const (
+	MESI    = config.MESI
+	TCS     = config.TCS
+	TCW     = config.TCW
+	RCC     = config.RCC
+	RCCWO   = config.RCCWO
+	SCIdeal = config.SCIdeal
+)
+
+// Stats is the counter set a run produces.
+type Stats = stats.Run
+
+// EnergyBreakdown is the interconnect energy model output (nanojoules).
+type EnergyBreakdown = energy.Breakdown
+
+// Benchmark is one of the twelve Table IV workloads.
+type Benchmark = workload.Benchmark
+
+// Program is a generated kernel (per-SM, per-warp instruction traces).
+type Program = workload.Program
+
+// Result is a completed simulation.
+type Result = sim.Result
+
+// Machine is a fully assembled simulated GPU; use it directly for
+// cycle-stepped inspection (see cmd/rcctrace), or Run for whole programs.
+type Machine = sim.Machine
+
+// Observer receives every load result during simulation (used for
+// consistency checking); pass nil when only timing matters.
+type Observer = gpu.Observer
+
+// Runner memoizes benchmark runs and regenerates the paper's figures.
+type Runner = experiments.Runner
+
+// DefaultConfig returns the Table III machine (GTX 480 class).
+func DefaultConfig() Config { return config.Default() }
+
+// SmallConfig returns a reduced machine for quick experiments and tests.
+func SmallConfig() Config { return config.Small() }
+
+// Benchmarks lists the twelve workloads of Table IV.
+func Benchmarks() []Benchmark { return workload.All() }
+
+// BenchmarkByName finds a workload by its paper abbreviation (BH, BFS,
+// CL, DLB, STN, VPR, HSP, KMN, LPS, NDL, SR, LUD).
+func BenchmarkByName(name string) (Benchmark, bool) { return workload.ByName(name) }
+
+// Run generates benchmark name under cfg, simulates it to completion, and
+// returns the statistics and interconnect energy.
+func Run(cfg Config, name string) (Result, error) {
+	b, ok := workload.ByName(name)
+	if !ok {
+		return Result{}, fmt.Errorf("rccsim: unknown benchmark %q", name)
+	}
+	return sim.RunBenchmark(cfg, b)
+}
+
+// RunProgram simulates an arbitrary user-supplied program. obs may be nil.
+func RunProgram(cfg Config, prog *Program, obs Observer) (*Stats, error) {
+	m, err := sim.New(cfg, prog, obs)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// NewMachine assembles a machine without running it (for cycle-stepping).
+func NewMachine(cfg Config, prog *Program, obs Observer) (*Machine, error) {
+	return sim.New(cfg, prog, obs)
+}
+
+// NewRunner returns an experiment runner over the given base machine.
+func NewRunner(base Config) *Runner { return experiments.NewRunner(base) }
