@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rccbench [-scale f] [-seed n] [-small] <experiment>...
+//	rccbench [-scale f] [-seed n] [-small] [-j N] <experiment>...
 //
 // Experiments: fig1 fig6 fig7 fig8 fig9 fig10 table1 table3 table4 table5
 // all, plus "stats <bench> <protocol>" for a full single-run report.
@@ -29,6 +29,7 @@ var (
 	scale = flag.Float64("scale", 1.0, "workload scale factor (trace length multiplier)")
 	seed  = flag.Uint64("seed", 1, "workload generation seed")
 	small = flag.Bool("small", false, "use the reduced test machine instead of Table III")
+	jobs  = flag.Int("j", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
 )
 
 func main() {
@@ -46,7 +47,7 @@ func main() {
 	}
 	base.Scale = *scale
 	base.Seed = *seed
-	r := experiments.NewRunner(base)
+	r := experiments.NewRunnerJobs(base, *jobs)
 
 	if args[0] == "stats" {
 		if err := statsReport(r.Base, args[1:]); err != nil {

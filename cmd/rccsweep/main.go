@@ -4,9 +4,11 @@
 // TLP that hides SC stalls), the TC lease the baselines depend on, and the
 // timestamp width behind the Sec. III-D rollover mechanism.
 //
-//	rccsweep [-bench BH] [-scale f] <sweep>
+//	rccsweep [-bench BH] [-scale f] [-j N] <sweep>
 //
-// Sweeps: lease, warps, tclease, tsbits, sched.
+// Sweeps: lease, warps, tclease, tsbits, sched. Sweep points are
+// independent simulations; -j runs up to N of them concurrently
+// (0 = one per CPU) with output identical to a sequential run.
 package main
 
 import (
@@ -22,13 +24,15 @@ import (
 var (
 	bench = flag.String("bench", "BH", "benchmark to sweep")
 	scale = flag.Float64("scale", 0.5, "workload scale")
+	jobs  = flag.Int("j", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Println("sweeps: lease warps tclease tsbits sched")
-		return
+		fmt.Fprintln(os.Stderr, "usage: rccsweep [-bench BH] [-scale f] [-j N] <sweep>")
+		fmt.Fprintln(os.Stderr, "sweeps: lease warps tclease tsbits sched")
+		os.Exit(2)
 	}
 	b, ok := workload.ByName(*bench)
 	if !ok {
@@ -63,7 +67,7 @@ func main() {
 func sweepLease(base config.Config, b workload.Benchmark) error {
 	fmt.Printf("RCC fixed-lease sweep on %s (predictor off)\n", b.Name)
 	fmt.Printf("%8s %10s %10s %12s\n", "lease", "cycles", "expired", "renewed")
-	rows, err := experiments.LeaseSweep(base, b, []uint64{8, 32, 64, 128, 512, 2048})
+	rows, err := experiments.LeaseSweep(base, b, []uint64{8, 32, 64, 128, 512, 2048}, *jobs)
 	if err != nil {
 		return err
 	}
@@ -76,7 +80,7 @@ func sweepLease(base config.Config, b workload.Benchmark) error {
 func sweepWarps(base config.Config, b workload.Benchmark) error {
 	fmt.Printf("warps-per-SM sweep on %s (RCC, SC)\n", b.Name)
 	fmt.Printf("%8s %10s %8s %16s\n", "warps", "cycles", "IPC", "SC stall cycles")
-	rows, err := experiments.WarpSweep(base, b, []int{4, 8, 16, 32, 48})
+	rows, err := experiments.WarpSweep(base, b, []int{4, 8, 16, 32, 48}, *jobs)
 	if err != nil {
 		return err
 	}
@@ -89,7 +93,7 @@ func sweepWarps(base config.Config, b workload.Benchmark) error {
 func sweepTCLease(base config.Config, b workload.Benchmark) error {
 	fmt.Printf("TC-Strong lease sweep on %s\n", b.Name)
 	fmt.Printf("%8s %10s %16s %12s\n", "lease", "cycles", "store stall cyc", "L1 hit rate")
-	rows, err := experiments.TCLeaseSweep(base, b, []uint64{100, 200, 400, 800, 1600})
+	rows, err := experiments.TCLeaseSweep(base, b, []uint64{100, 200, 400, 800, 1600}, *jobs)
 	if err != nil {
 		return err
 	}
@@ -102,7 +106,7 @@ func sweepTCLease(base config.Config, b workload.Benchmark) error {
 func sweepTSBits(base config.Config, b workload.Benchmark) error {
 	fmt.Printf("RCC timestamp-width sweep on %s\n", b.Name)
 	fmt.Printf("%8s %10s %10s %14s\n", "bits", "cycles", "rollovers", "stall cycles")
-	rows, err := experiments.TSBitsSweep(base, b, []uint{14, 16, 18, 20, 24, 32})
+	rows, err := experiments.TSBitsSweep(base, b, []uint{14, 16, 18, 20, 24, 32}, *jobs)
 	if err != nil {
 		return err
 	}
@@ -116,7 +120,7 @@ func sweepSched(base config.Config, b workload.Benchmark) error {
 	fmt.Printf("warp-scheduler sweep on %s\n", b.Name)
 	fmt.Printf("%6s %8s %10s %8s %16s\n", "sched", "proto", "cycles", "IPC", "SC stall cycles")
 	rows, err := experiments.SchedulerSweep(base, b,
-		[]config.Protocol{config.MESI, config.TCS, config.RCC})
+		[]config.Protocol{config.MESI, config.TCS, config.RCC}, *jobs)
 	if err != nil {
 		return err
 	}

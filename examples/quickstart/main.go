@@ -23,7 +23,7 @@ func main() {
 		}
 		st := res.Stats
 		fmt.Printf("%-5v  cycles=%-8d IPC=%.2f  avg store latency=%.0f  SC stall cycles=%d  NoC energy=%.1f nJ\n",
-			p, st.Cycles, st.IPC(), st.Latency[0].Mean(),
+			p, st.Cycles, st.IPC(), st.Latency[rccsim.OpStore].Mean(),
 			st.TotalSCStallCycles(), res.Energy.Total())
 	}
 

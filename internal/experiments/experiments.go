@@ -6,23 +6,35 @@
 // complexity table (Table V).
 //
 // A Runner memoizes (protocol, benchmark) simulations so figures that
-// share runs (e.g. Fig 8 and Fig 9) pay for them once.
+// share runs (e.g. Fig 8 and Fig 9) pay for them once, and fans
+// independent simulations out across a worker pool (see parallel.go).
 package experiments
 
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"rccsim/internal/config"
 	"rccsim/internal/sim"
+	"rccsim/internal/stats"
 	"rccsim/internal/workload"
 )
 
 // Runner executes and caches benchmark simulations for one base machine
-// configuration.
+// configuration, running up to Jobs simulations concurrently. It is safe
+// for concurrent use: the memo cache dedupes in-flight runs, so figures
+// requested from several goroutines still pay for each shared simulation
+// once.
 type Runner struct {
-	Base  config.Config
-	cache map[cacheKey]sim.Result
+	Base config.Config
+	Jobs int // max concurrent simulations (set at construction)
+
+	mu    sync.Mutex
+	cache map[cacheKey]*flight
+	sem   chan struct{}
+	runs  atomic.Uint64 // simulations actually executed (not deduped)
 }
 
 type cacheKey struct {
@@ -32,32 +44,30 @@ type cacheKey struct {
 	predictor bool
 }
 
-// NewRunner returns a Runner over base. The base protocol field is
-// ignored; each experiment selects its own protocols.
+// NewRunner returns a Runner over base with one worker per CPU. The base
+// protocol field is ignored; each experiment selects its own protocols.
 func NewRunner(base config.Config) *Runner {
-	return &Runner{Base: base, cache: make(map[cacheKey]sim.Result)}
+	return NewRunnerJobs(base, 0)
+}
+
+// NewRunnerJobs returns a Runner over base executing at most jobs
+// simulations concurrently; jobs <= 0 means GOMAXPROCS, jobs == 1 is
+// strictly sequential.
+func NewRunnerJobs(base config.Config, jobs int) *Runner {
+	if jobs <= 0 {
+		jobs = defaultJobs()
+	}
+	return &Runner{
+		Base:  base,
+		Jobs:  jobs,
+		cache: make(map[cacheKey]*flight),
+		sem:   make(chan struct{}, jobs),
+	}
 }
 
 // result runs (or returns the cached) simulation of b under protocol p.
 func (r *Runner) result(p config.Protocol, b workload.Benchmark) (sim.Result, error) {
 	return r.resultOpt(p, b, true, true)
-}
-
-func (r *Runner) resultOpt(p config.Protocol, b workload.Benchmark, renew, pred bool) (sim.Result, error) {
-	key := cacheKey{p, b.Name, renew, pred}
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	cfg := r.Base
-	cfg.Protocol = p
-	cfg.RCCRenew = renew
-	cfg.RCCPredictor = pred
-	res, err := sim.RunBenchmark(cfg, b)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	r.cache[key] = res
-	return res, nil
 }
 
 // GMean computes the geometric mean of xs (1.0 for empty input).
@@ -93,6 +103,9 @@ type Fig1Row struct {
 
 // Fig1 runs the motivation study over all twelve benchmarks.
 func (r *Runner) Fig1() ([]Fig1Row, error) {
+	if err := r.Preload(crossReqs([]config.Protocol{config.MESI, config.SCIdeal}, workload.All())); err != nil {
+		return nil, err
+	}
 	var rows []Fig1Row
 	for _, b := range workload.All() {
 		mesi, err := r.result(config.MESI, b)
@@ -103,20 +116,27 @@ func (r *Runner) Fig1() ([]Fig1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := mesi.Stats
-		rows = append(rows, Fig1Row{
-			Bench:        b.Name,
-			Inter:        b.Inter,
-			StallFrac:    st.StalledOpFraction(),
-			StoreBlame:   st.StoreBlameFraction(),
-			LoadLat:      st.Latency[1].Mean(),
-			StoreLat:     st.Latency[0].Mean(),
-			LoadP95:      st.LatencyHist[1].Percentile(0.95),
-			StoreP95:     st.LatencyHist[0].Percentile(0.95),
-			IdealSpeedup: float64(st.Cycles) / float64(ideal.Stats.Cycles),
-		})
+		rows = append(rows, fig1Row(b, mesi, ideal))
 	}
 	return rows, nil
+}
+
+// fig1Row assembles one motivation-study row from a MESI baseline run and
+// its SC-IDEAL counterpart. Latency columns index by stats.OpClass: the
+// old bare 0/1 subscripts had load and store swapped (OpLoad is 0).
+func fig1Row(b workload.Benchmark, mesi, ideal sim.Result) Fig1Row {
+	st := mesi.Stats
+	return Fig1Row{
+		Bench:        b.Name,
+		Inter:        b.Inter,
+		StallFrac:    st.StalledOpFraction(),
+		StoreBlame:   st.StoreBlameFraction(),
+		LoadLat:      st.Latency[stats.OpLoad].Mean(),
+		StoreLat:     st.Latency[stats.OpStore].Mean(),
+		LoadP95:      st.LatencyHist[stats.OpLoad].Percentile(0.95),
+		StoreP95:     st.LatencyHist[stats.OpStore].Percentile(0.95),
+		IdealSpeedup: float64(st.Cycles) / float64(ideal.Stats.Cycles),
+	}
 }
 
 // Fig6Row reports, for RCC, how often loads find an L1 block valid but
@@ -131,6 +151,9 @@ type Fig6Row struct {
 
 // Fig6 measures expiry and renewability under RCC.
 func (r *Runner) Fig6() ([]Fig6Row, error) {
+	if err := r.Preload(crossReqs([]config.Protocol{config.RCC}, workload.All())); err != nil {
+		return nil, err
+	}
 	var rows []Fig6Row
 	for _, b := range workload.All() {
 		res, err := r.result(config.RCC, b)
@@ -161,6 +184,16 @@ type Fig7Row struct {
 
 // Fig7 runs the renewal (−R/+R) and predictor (−P/+P) ablations.
 func (r *Runner) Fig7() ([]Fig7Row, error) {
+	var reqs []Request
+	for _, b := range workload.All() {
+		reqs = append(reqs,
+			Request{Protocol: config.RCC, Bench: b, Renew: false, Predictor: true},
+			Request{Protocol: config.RCC, Bench: b, Renew: true, Predictor: true},
+			Request{Protocol: config.RCC, Bench: b, Renew: true, Predictor: false})
+	}
+	if err := r.Preload(reqs); err != nil {
+		return nil, err
+	}
 	var rows []Fig7Row
 	for _, b := range workload.All() {
 		noRenew, err := r.resultOpt(config.RCC, b, false, true)
@@ -204,6 +237,9 @@ var Fig8Protocols = []config.Protocol{config.MESI, config.TCS, config.RCC}
 
 // Fig8 measures SC stall rates and resolve latencies.
 func (r *Runner) Fig8() ([]Fig8Row, error) {
+	if err := r.Preload(crossReqs(Fig8Protocols, workload.All())); err != nil {
+		return nil, err
+	}
 	var rows []Fig8Row
 	for _, b := range workload.All() {
 		row := Fig8Row{
@@ -272,6 +308,9 @@ var Fig9Protocols = []config.Protocol{config.MESI, config.TCS, config.TCW, confi
 
 // Fig9 runs the headline comparison.
 func (r *Runner) Fig9() ([]Fig9Row, error) {
+	if err := r.Preload(crossReqs(Fig9Protocols, workload.All())); err != nil {
+		return nil, err
+	}
 	var rows []Fig9Row
 	for _, b := range workload.All() {
 		row := Fig9Row{
@@ -303,12 +342,12 @@ func (r *Runner) Fig9() ([]Fig9Row, error) {
 				Total:  res.Energy.Total() / baseEnergy,
 			}
 			row.Traffic[p] = TrafficParts{
-				Request:   float64(st.Flits[0]) / baseFlits,
-				StoreData: float64(st.Flits[1]) / baseFlits,
-				LoadData:  float64(st.Flits[2]) / baseFlits,
-				Ack:       float64(st.Flits[3]) / baseFlits,
-				Renew:     float64(st.Flits[4]) / baseFlits,
-				Inv:       float64(st.Flits[5]) / baseFlits,
+				Request:   float64(st.Flits[stats.MsgReq]) / baseFlits,
+				StoreData: float64(st.Flits[stats.MsgStData]) / baseFlits,
+				LoadData:  float64(st.Flits[stats.MsgLdData]) / baseFlits,
+				Ack:       float64(st.Flits[stats.MsgAckCtl]) / baseFlits,
+				Renew:     float64(st.Flits[stats.MsgRenewCt]) / baseFlits,
+				Inv:       float64(st.Flits[stats.MsgInvCtl]) / baseFlits,
 				Total:     float64(st.TotalFlits()) / baseFlits,
 			}
 		}
@@ -329,6 +368,9 @@ var Fig10Protocols = []config.Protocol{config.RCC, config.RCCWO, config.TCW}
 
 // Fig10 runs the weak-ordering comparison.
 func (r *Runner) Fig10() ([]Fig10Row, error) {
+	if err := r.Preload(crossReqs(Fig10Protocols, workload.All())); err != nil {
+		return nil, err
+	}
 	var rows []Fig10Row
 	for _, b := range workload.All() {
 		row := Fig10Row{Bench: b.Name, Inter: b.Inter, Speedup: map[config.Protocol]float64{}}

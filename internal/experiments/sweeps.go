@@ -2,9 +2,15 @@ package experiments
 
 import (
 	"rccsim/internal/config"
-	"rccsim/internal/sim"
 	"rccsim/internal/workload"
 )
+
+// The sweeps vary config fields outside the Runner's cache key (lease,
+// warps, timestamp width, scheduler), so they do not memoize; instead each
+// builds its point configs up front and fans the independent simulations
+// out through runAll, which preserves input order so rows are identical to
+// a sequential run. jobs <= 0 means one worker per CPU; jobs == 1 is
+// strictly sequential.
 
 // LeaseSweepRow is one point of the fixed-lease sweep (Sec. III-E: the
 // paper found the spread among fixed leases negligible because logical
@@ -17,24 +23,28 @@ type LeaseSweepRow struct {
 }
 
 // LeaseSweep runs benchmark b under RCC with the predictor disabled for
-// each fixed lease value.
-func LeaseSweep(base config.Config, b workload.Benchmark, leases []uint64) ([]LeaseSweepRow, error) {
-	var rows []LeaseSweepRow
-	for _, lease := range leases {
+// each fixed lease value, jobs points at a time.
+func LeaseSweep(base config.Config, b workload.Benchmark, leases []uint64, jobs int) ([]LeaseSweepRow, error) {
+	cfgs := make([]config.Config, len(leases))
+	for i, lease := range leases {
 		cfg := base
 		cfg.Protocol = config.RCC
 		cfg.RCCPredictor = false
 		cfg.RCCFixedLease = lease
-		res, err := sim.RunBenchmark(cfg, b)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, LeaseSweepRow{
-			Lease:   lease,
+		cfgs[i] = cfg
+	}
+	results, err := runAll(cfgs, b, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]LeaseSweepRow, len(results))
+	for i, res := range results {
+		rows[i] = LeaseSweepRow{
+			Lease:   leases[i],
 			Cycles:  res.Stats.Cycles,
 			Expired: res.Stats.L1LoadExpired,
 			Renewed: res.Stats.L1Renewed,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -48,23 +58,28 @@ type WarpSweepRow struct {
 	StallCycles uint64
 }
 
-// WarpSweep runs benchmark b under RCC-SC for each warps-per-SM count.
-func WarpSweep(base config.Config, b workload.Benchmark, warps []int) ([]WarpSweepRow, error) {
-	var rows []WarpSweepRow
-	for _, w := range warps {
+// WarpSweep runs benchmark b under RCC-SC for each warps-per-SM count,
+// jobs points at a time.
+func WarpSweep(base config.Config, b workload.Benchmark, warps []int, jobs int) ([]WarpSweepRow, error) {
+	cfgs := make([]config.Config, len(warps))
+	for i, w := range warps {
 		cfg := base
 		cfg.Protocol = config.RCC
 		cfg.WarpsPerSM = w
-		res, err := sim.RunBenchmark(cfg, b)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, WarpSweepRow{
-			Warps:       uint64(w),
+		cfgs[i] = cfg
+	}
+	results, err := runAll(cfgs, b, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]WarpSweepRow, len(results))
+	for i, res := range results {
+		rows[i] = WarpSweepRow{
+			Warps:       uint64(warps[i]),
 			Cycles:      res.Stats.Cycles,
 			IPC:         res.Stats.IPC(),
 			StallCycles: res.Stats.TotalSCStallCycles(),
-		})
+		}
 	}
 	return rows, nil
 }
@@ -79,27 +94,32 @@ type TCLeaseSweepRow struct {
 	L1HitRate   float64
 }
 
-// TCLeaseSweep runs benchmark b under TC-Strong for each lease duration.
-func TCLeaseSweep(base config.Config, b workload.Benchmark, leases []uint64) ([]TCLeaseSweepRow, error) {
-	var rows []TCLeaseSweepRow
-	for _, lease := range leases {
+// TCLeaseSweep runs benchmark b under TC-Strong for each lease duration,
+// jobs points at a time.
+func TCLeaseSweep(base config.Config, b workload.Benchmark, leases []uint64, jobs int) ([]TCLeaseSweepRow, error) {
+	cfgs := make([]config.Config, len(leases))
+	for i, lease := range leases {
 		cfg := base
 		cfg.Protocol = config.TCS
 		cfg.TCLease = lease
-		res, err := sim.RunBenchmark(cfg, b)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := runAll(cfgs, b, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TCLeaseSweepRow, len(results))
+	for i, res := range results {
 		hit := 0.0
 		if res.Stats.L1Loads > 0 {
 			hit = float64(res.Stats.L1LoadHits) / float64(res.Stats.L1Loads)
 		}
-		rows = append(rows, TCLeaseSweepRow{
-			Lease:       lease,
+		rows[i] = TCLeaseSweepRow{
+			Lease:       leases[i],
 			Cycles:      res.Stats.Cycles,
 			StoreStalls: res.Stats.L2StoreStallCycles,
 			L1HitRate:   hit,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -114,10 +134,12 @@ type TSBitsSweepRow struct {
 	Stall     uint64
 }
 
-// TSBitsSweep runs benchmark b under RCC for each timestamp width. Widths
-// too narrow for the configured maximum lease are skipped.
-func TSBitsSweep(base config.Config, b workload.Benchmark, bits []uint) ([]TSBitsSweepRow, error) {
-	var rows []TSBitsSweepRow
+// TSBitsSweep runs benchmark b under RCC for each timestamp width, jobs
+// points at a time. Widths too narrow for the configured maximum lease are
+// skipped.
+func TSBitsSweep(base config.Config, b workload.Benchmark, bits []uint, jobs int) ([]TSBitsSweepRow, error) {
+	var kept []uint
+	var cfgs []config.Config
 	for _, n := range bits {
 		cfg := base
 		cfg.Protocol = config.RCC
@@ -125,16 +147,21 @@ func TSBitsSweep(base config.Config, b workload.Benchmark, bits []uint) ([]TSBit
 		if cfg.RCCTSMax < 4*cfg.RCCMaxLease {
 			continue
 		}
-		res, err := sim.RunBenchmark(cfg, b)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, TSBitsSweepRow{
-			Bits:      n,
+		kept = append(kept, n)
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runAll(cfgs, b, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TSBitsSweepRow, len(results))
+	for i, res := range results {
+		rows[i] = TSBitsSweepRow{
+			Bits:      kept[i],
 			Cycles:    res.Stats.Cycles,
 			Rollovers: res.Stats.Rollovers,
 			Stall:     res.Stats.RolloverStall,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -148,26 +175,37 @@ type SchedSweepRow struct {
 	StallCycles uint64
 }
 
-// SchedulerSweep runs benchmark b under each (scheduler, protocol) pair —
-// a sensitivity study for the Table III "loose round-robin" choice.
-func SchedulerSweep(base config.Config, b workload.Benchmark, protocols []config.Protocol) ([]SchedSweepRow, error) {
-	var rows []SchedSweepRow
+// SchedulerSweep runs benchmark b under each (scheduler, protocol) pair,
+// jobs points at a time — a sensitivity study for the Table III "loose
+// round-robin" choice.
+func SchedulerSweep(base config.Config, b workload.Benchmark, protocols []config.Protocol, jobs int) ([]SchedSweepRow, error) {
+	type point struct {
+		sched config.Scheduler
+		proto config.Protocol
+	}
+	var points []point
+	var cfgs []config.Config
 	for _, sched := range []config.Scheduler{config.LRR, config.GTO} {
 		for _, p := range protocols {
 			cfg := base
 			cfg.Scheduler = sched
 			cfg.Protocol = p
-			res, err := sim.RunBenchmark(cfg, b)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, SchedSweepRow{
-				Scheduler:   sched,
-				Protocol:    p,
-				Cycles:      res.Stats.Cycles,
-				IPC:         res.Stats.IPC(),
-				StallCycles: res.Stats.TotalSCStallCycles(),
-			})
+			points = append(points, point{sched, p})
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runAll(cfgs, b, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SchedSweepRow, len(results))
+	for i, res := range results {
+		rows[i] = SchedSweepRow{
+			Scheduler:   points[i].sched,
+			Protocol:    points[i].proto,
+			Cycles:      res.Stats.Cycles,
+			IPC:         res.Stats.IPC(),
+			StallCycles: res.Stats.TotalSCStallCycles(),
 		}
 	}
 	return rows, nil

@@ -50,6 +50,7 @@ func NewDRAM(cfg config.Config, st *stats.Run) *DRAM {
 		banks:    make([]dramBank, cfg.DRAMBanksPerPart),
 		st:       st,
 		rowLines: uint64(cfg.DRAMRowLines),
+		lastTick: timing.Never, // so the first Tick, even at cycle 0, schedules
 	}
 }
 
@@ -66,9 +67,11 @@ func (d *DRAM) Submit(req DRAMReq, now timing.Cycle) {
 	d.schedule(now)
 }
 
-// Tick lets the controller issue commands at cycle now.
+// Tick lets the controller issue at most one command per cycle: repeated
+// calls with the same now are no-ops (lastTick starts at timing.Never, so
+// the guard cannot mistake cycle 0 for "already ticked").
 func (d *DRAM) Tick(now timing.Cycle) bool {
-	if now == d.lastTick && now != 0 {
+	if now == d.lastTick {
 		return false
 	}
 	d.lastTick = now

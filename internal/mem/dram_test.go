@@ -1,0 +1,59 @@
+package mem
+
+import (
+	"testing"
+
+	"rccsim/internal/config"
+	"rccsim/internal/stats"
+)
+
+// TestDRAMTickOncePerCycleZero pins the one-command-per-cycle guard at
+// cycle 0: lastTick's zero value used to alias cycle 0, so a second
+// Tick(0) would issue a second command in the same cycle. The requests are
+// placed on the queue directly so the opportunistic scheduling in Submit
+// cannot issue them first.
+func TestDRAMTickOncePerCycleZero(t *testing.T) {
+	cfg := config.Small()
+	d := NewDRAM(cfg, stats.New())
+	if len(d.banks) < 2 {
+		t.Fatalf("test needs >= 2 banks, config has %d", len(d.banks))
+	}
+	// Two ready requests on different (idle) banks: either could issue.
+	d.queue = []pendingReq{
+		{req: DRAMReq{Line: 1, ID: 1}, bank: 0, row: 0, arrival: 0},
+		{req: DRAMReq{Line: 2, ID: 2}, bank: 1, row: 0, arrival: 0},
+	}
+	if !d.Tick(0) {
+		t.Fatal("first Tick(0) issued nothing")
+	}
+	if d.Tick(0) {
+		t.Fatal("second Tick(0) issued a command in the same cycle")
+	}
+	if got := len(d.queue); got != 1 {
+		t.Fatalf("queue has %d requests after one cycle, want 1", got)
+	}
+	// The next cycle may issue again.
+	if !d.Tick(1) {
+		t.Fatal("Tick(1) should issue the remaining request")
+	}
+}
+
+// TestDRAMTickGuardLaterCycles checks the guard also dedupes repeated
+// ticks away from cycle 0 and that distinct cycles still schedule.
+func TestDRAMTickGuardLaterCycles(t *testing.T) {
+	cfg := config.Small()
+	d := NewDRAM(cfg, stats.New())
+	d.queue = []pendingReq{
+		{req: DRAMReq{Line: 1, ID: 1}, bank: 0, row: 0, arrival: 5},
+		{req: DRAMReq{Line: 2, ID: 2}, bank: 1, row: 0, arrival: 5},
+	}
+	if d.Tick(3) {
+		t.Fatal("nothing should be schedulable before arrival")
+	}
+	if !d.Tick(5) || d.Tick(5) {
+		t.Fatal("cycle 5 should issue exactly once")
+	}
+	if !d.Tick(6) {
+		t.Fatal("cycle 6 should issue the second request")
+	}
+}

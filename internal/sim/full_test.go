@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rccsim/internal/config"
+	"rccsim/internal/stats"
 	"rccsim/internal/workload"
 )
 
@@ -27,7 +28,7 @@ func TestFullScaleProbe(t *testing.T) {
 			t.Logf("%s/%-8v: cyc=%8d speedup=%.2f stallFrac=%.2f storeBlame=%.2f ldLat=%.0f stLat=%.0f exp=%.2f renew=%d flits=%d",
 				b.Name, p, st.Cycles, float64(base)/float64(st.Cycles),
 				st.StalledOpFraction(), st.StoreBlameFraction(),
-				st.Latency[1].Mean(), st.Latency[0].Mean(), st.L1ExpiredFraction(), st.L1Renewed, st.TotalFlits())
+				st.Latency[stats.OpLoad].Mean(), st.Latency[stats.OpStore].Mean(), st.L1ExpiredFraction(), st.L1Renewed, st.TotalFlits())
 		}
 	}
 }

@@ -4,7 +4,13 @@
 // renewal rates (Figs 6/7), interconnect traffic by message class (Figs
 // 7/9c), and the inputs to the interconnect energy model (Fig 9b).
 //
-// The simulator is single-threaded, so counters are plain integers.
+// Counters are plain integers, never atomics, and must stay that way: each
+// sim.Machine owns exactly one private *Run and is single-threaded
+// internally, so no counter is ever written from two goroutines. The
+// experiment harness (internal/experiments) parallelizes across whole
+// machines, each with its own Run — it must never share a Run between
+// concurrent simulations. This invariant is what makes parallel sweeps
+// bit-identical to sequential ones.
 package stats
 
 import "fmt"
@@ -256,10 +262,14 @@ const histBuckets = 24
 type Histogram struct {
 	Buckets [histBuckets]uint64
 	Count   uint64
+	Max     uint64 // largest sample seen (bounds the overflow bucket)
 }
 
 // Add records one sample.
 func (h *Histogram) Add(v uint64) {
+	if v > h.Max {
+		h.Max = v
+	}
 	i := 0
 	for v > 1 && i < histBuckets-1 {
 		v >>= 1
@@ -270,7 +280,10 @@ func (h *Histogram) Add(v uint64) {
 }
 
 // Percentile returns an upper bound for the p-th percentile (p in [0,1]):
-// the top edge of the bucket containing that rank. Zero with no samples.
+// the inclusive top edge 2^(i+1)-1 of the bucket i containing that rank
+// (bucket i holds samples in [2^i, 2^(i+1)); bucket 0 holds 0 and 1). The
+// last bucket is unbounded above, so its edge saturates to the largest
+// observed sample. Zero with no samples.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.Count == 0 {
 		return 0
@@ -286,8 +299,11 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	for i, n := range h.Buckets {
 		seen += n
 		if seen > rank {
-			return 1 << uint(i)
+			if i == histBuckets-1 {
+				return h.Max
+			}
+			return 1<<uint(i+1) - 1
 		}
 	}
-	return 1 << (histBuckets - 1)
+	return h.Max
 }

@@ -126,14 +126,55 @@ func TestHistogramBasics(t *testing.T) {
 	if h.Count != 100 {
 		t.Fatalf("count = %d", h.Count)
 	}
-	if p := h.Percentile(0.5); p != 8 {
-		t.Fatalf("p50 = %d, want 8", p)
+	// Samples of 10 land in bucket 3 ([8,15]); Percentile reports the top
+	// edge, 15, not the bottom edge 8 (tails used to be under-reported 2x).
+	if p := h.Percentile(0.5); p != 15 {
+		t.Fatalf("p50 = %d, want 15", p)
 	}
-	if p := h.Percentile(0.99); p != 4096 {
-		t.Fatalf("p99 = %d, want 4096", p)
+	if p := h.Percentile(0.99); p != 8191 {
+		t.Fatalf("p99 = %d, want 8191", p)
 	}
 	if h.Percentile(0) == 0 || h.Percentile(1) == 0 {
 		t.Fatal("extreme percentiles broken")
+	}
+}
+
+// TestHistogramPercentileEdges pins the documented semantics: the returned
+// value is the inclusive upper edge of the rank's bucket, a sample's true
+// value never exceeds it, and the unbounded overflow bucket saturates to
+// the largest observed sample.
+func TestHistogramPercentileEdges(t *testing.T) {
+	tests := []struct {
+		name    string
+		samples []uint64
+		p       float64
+		want    uint64
+	}{
+		{"zero in bucket 0", []uint64{0}, 0.5, 1},
+		{"one in bucket 0", []uint64{1, 1, 1}, 0.95, 1},
+		{"bucket 1 top edge", []uint64{2}, 0.5, 3},
+		{"exact power of two", []uint64{8}, 0.5, 15},
+		{"bucket top edge is inclusive", []uint64{7}, 0.5, 7},
+		{"median ignores tail", []uint64{2, 2, 2, 100}, 0.5, 3},
+		{"p100 reaches tail bucket", []uint64{2, 2, 2, 100}, 1.0, 127},
+		{"overflow saturates to max", []uint64{1 << 30, 1 << 40}, 0.99, 1 << 40},
+		{"all-overflow median", []uint64{1 << 25, 1 << 26, 1 << 27}, 0.5, 1 << 27},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tt.samples {
+				h.Add(v)
+			}
+			if got := h.Percentile(tt.p); got != tt.want {
+				t.Fatalf("Percentile(%v) = %d, want %d", tt.p, got, tt.want)
+			}
+			for _, v := range tt.samples {
+				if v > h.Percentile(1) {
+					t.Fatalf("sample %d exceeds P100 %d", v, h.Percentile(1))
+				}
+			}
+		})
 	}
 }
 

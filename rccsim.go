@@ -55,6 +55,17 @@ const (
 // Stats is the counter set a run produces.
 type Stats = stats.Run
 
+// OpClass indexes the per-operation latency accumulators in Stats
+// (Latency, LatencyHist, SCStallCycles).
+type OpClass = stats.OpClass
+
+// OpClass values.
+const (
+	OpLoad   = stats.OpLoad
+	OpStore  = stats.OpStore
+	OpAtomic = stats.OpAtomic
+)
+
 // EnergyBreakdown is the interconnect energy model output (nanojoules).
 type EnergyBreakdown = energy.Breakdown
 
@@ -115,5 +126,11 @@ func NewMachine(cfg Config, prog *Program, obs Observer) (*Machine, error) {
 	return sim.New(cfg, prog, obs)
 }
 
-// NewRunner returns an experiment runner over the given base machine.
+// NewRunner returns an experiment runner over the given base machine,
+// executing up to one simulation per CPU concurrently.
 func NewRunner(base Config) *Runner { return experiments.NewRunner(base) }
+
+// NewRunnerJobs returns an experiment runner executing at most jobs
+// simulations concurrently (0 = one per CPU, 1 = strictly sequential).
+// Results are bit-identical regardless of jobs.
+func NewRunnerJobs(base Config, jobs int) *Runner { return experiments.NewRunnerJobs(base, jobs) }
