@@ -3,17 +3,22 @@
 //
 // Usage:
 //
-//	rccbench [-scale f] [-seed n] [-small] [-j N] <experiment>...
+//	rccbench [-scale f] [-seed n] [-small] [-j N] [-progress]
+//	         [-trace file [-trace-format jsonl|perfetto] [-metrics-interval N]]
+//	         [-cpuprofile file] [-memprofile file] <experiment>...
 //
 // Experiments: fig1 fig6 fig7 fig8 fig9 fig10 table1 table3 table4 table5
 // all, plus "stats <bench> <protocol>" for a full single-run report.
-// Without arguments it prints the experiment list.
+// Without arguments it prints the experiment list. -trace applies to the
+// single-run "stats" experiment and captures its full event stream.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -22,24 +27,43 @@ import (
 	"rccsim/internal/experiments"
 	"rccsim/internal/report"
 	"rccsim/internal/sim"
+	"rccsim/internal/trace"
 	"rccsim/internal/workload"
 )
 
 var (
-	scale = flag.Float64("scale", 1.0, "workload scale factor (trace length multiplier)")
-	seed  = flag.Uint64("seed", 1, "workload generation seed")
-	small = flag.Bool("small", false, "use the reduced test machine instead of Table III")
-	jobs  = flag.Int("j", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
+	scale    = flag.Float64("scale", 1.0, "workload scale factor (trace length multiplier)")
+	seed     = flag.Uint64("seed", 1, "workload generation seed")
+	small    = flag.Bool("small", false, "use the reduced test machine instead of Table III")
+	jobs     = flag.Int("j", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
+	progress = flag.Bool("progress", false, "report simulation progress (done/total, ETA) on stderr")
+
+	traceOut    = flag.String("trace", "", "write the event trace of a 'stats' run to this file")
+	traceFormat = flag.String("trace-format", "jsonl", "event trace format: jsonl or perfetto")
+	metricsIvl  = flag.Uint64("metrics-interval", 0, "emit stats deltas into the trace every N cycles (0 = off)")
+
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 func main() {
 	flag.Parse()
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Println("experiments: fig1 fig6 fig7 fig8 fig9 fig10 table1 table3 table4 table5 all")
 		fmt.Println("             stats <bench> <protocol>   (full single-run report)")
-		return
+		return 0
 	}
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	base := config.Default()
 	if *small {
@@ -48,13 +72,16 @@ func main() {
 	base.Scale = *scale
 	base.Seed = *seed
 	r := experiments.NewRunnerJobs(base, *jobs)
+	if *progress {
+		r.Progress = experiments.StderrProgress(os.Stderr, "rccbench")
+	}
 
 	if args[0] == "stats" {
 		if err := statsReport(r.Base, args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	for _, a := range args {
 		if a == "all" {
@@ -65,9 +92,84 @@ func main() {
 	for _, a := range args {
 		if err := run(r, a); err != nil {
 			fmt.Fprintf(os.Stderr, "rccbench: %s: %v\n", a, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
+}
+
+// startProfiles starts the pprof captures requested by -cpuprofile and
+// -memprofile and returns the function that finalizes them.
+func startProfiles() (stop func(), err error) {
+	var cpuf *os.File
+	if *cpuprofile != "" {
+		cpuf, err = os.Create(*cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuf); err != nil {
+			cpuf.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuf != nil {
+			pprof.StopCPUProfile()
+			cpuf.Close()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
+				return
+			}
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
+// newTraceBus builds the event bus requested by -trace/-trace-format/
+// -metrics-interval, or (nil, noop, nil) when tracing is off. The returned
+// close function flushes the sinks and the file.
+func newTraceBus() (*trace.Bus, func() error, error) {
+	noop := func() error { return nil }
+	if *traceOut == "" {
+		if *metricsIvl > 0 {
+			return nil, noop, fmt.Errorf("-metrics-interval requires -trace")
+		}
+		return nil, noop, nil
+	}
+	f, err := os.Create(*traceOut)
+	if err != nil {
+		return nil, noop, err
+	}
+	var dst trace.Sink
+	switch *traceFormat {
+	case "jsonl":
+		dst = trace.NewJSONLSink(f)
+	case "perfetto":
+		dst = trace.NewPerfettoSink(f)
+	default:
+		f.Close()
+		return nil, noop, fmt.Errorf("unknown -trace-format %q (want jsonl or perfetto)", *traceFormat)
+	}
+	var sinks []trace.Sink
+	if *metricsIvl > 0 {
+		sinks = append(sinks, trace.NewIntervalSink(dst, *metricsIvl))
+	}
+	sinks = append(sinks, dst)
+	bus := trace.NewBus(sinks...)
+	return bus, func() error {
+		err := bus.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
 }
 
 func run(r *experiments.Runner, name string) error {
@@ -345,7 +447,14 @@ func statsReport(base config.Config, args []string) error {
 	}
 	cfg := base
 	cfg.Protocol = proto
-	res, err := sim.RunBenchmark(cfg, b)
+	bus, closeBus, err := newTraceBus()
+	if err != nil {
+		return err
+	}
+	res, err := sim.RunBenchmarkTraced(cfg, b, bus)
+	if cerr := closeBus(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}

@@ -4,70 +4,212 @@
 // TLP that hides SC stalls), the TC lease the baselines depend on, and the
 // timestamp width behind the Sec. III-D rollover mechanism.
 //
-//	rccsweep [-bench BH] [-scale f] [-j N] <sweep>
+//	rccsweep [-bench BH] [-scale f] [-j N] [-progress]
+//	         [-trace file [-trace-format jsonl|perfetto] [-metrics-interval N]]
+//	         [-cpuprofile file] [-memprofile file] <sweep>
 //
 // Sweeps: lease, warps, tclease, tsbits, sched. Sweep points are
 // independent simulations; -j runs up to N of them concurrently
-// (0 = one per CPU) with output identical to a sequential run.
+// (0 = one per CPU) with output identical to a sequential run. -trace
+// captures every point's event stream: each point runs against its own
+// buffering bus and the buffers are replayed into the output file in
+// point order, so the trace is byte-identical for any -j.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 
 	"rccsim/internal/config"
 	"rccsim/internal/experiments"
+	"rccsim/internal/trace"
 	"rccsim/internal/workload"
 )
 
 var (
-	bench = flag.String("bench", "BH", "benchmark to sweep")
-	scale = flag.Float64("scale", 0.5, "workload scale")
-	jobs  = flag.Int("j", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
+	bench    = flag.String("bench", "BH", "benchmark to sweep")
+	scale    = flag.Float64("scale", 0.5, "workload scale")
+	jobs     = flag.Int("j", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
+	progress = flag.Bool("progress", false, "report sweep progress (points done/total, ETA) on stderr")
+
+	traceOut    = flag.String("trace", "", "write every point's event trace to this file")
+	traceFormat = flag.String("trace-format", "jsonl", "event trace format: jsonl or perfetto")
+	metricsIvl  = flag.Uint64("metrics-interval", 0, "emit stats deltas into the trace every N cycles (0 = off)")
+
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 func main() {
 	flag.Parse()
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rccsweep [-bench BH] [-scale f] [-j N] <sweep>")
 		fmt.Fprintln(os.Stderr, "sweeps: lease warps tclease tsbits sched")
-		os.Exit(2)
+		return 2
 	}
 	b, ok := workload.ByName(*bench)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
-		os.Exit(1)
+		return 1
 	}
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
+
 	base := config.Default()
 	base.Scale = *scale
 
-	var err error
+	var opts []experiments.RunOpt
+	if *progress {
+		opts = append(opts, experiments.WithProgress(
+			experiments.StderrProgress(os.Stderr, "rccsweep "+flag.Arg(0))))
+	}
+	var pts *pointTraces
+	var traceFile *os.File
+	var dst trace.Sink
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
+			return 1
+		}
+		defer traceFile.Close()
+		switch *traceFormat {
+		case "jsonl":
+			dst = trace.NewJSONLSink(traceFile)
+		case "perfetto":
+			dst = trace.NewPerfettoSink(traceFile)
+		default:
+			fmt.Fprintf(os.Stderr, "rccsweep: unknown -trace-format %q (want jsonl or perfetto)\n", *traceFormat)
+			return 1
+		}
+		pts = newPointTraces()
+		opts = append(opts, experiments.WithPointTracer(pts.bus))
+	} else if *metricsIvl > 0 {
+		fmt.Fprintln(os.Stderr, "rccsweep: -metrics-interval requires -trace")
+		return 1
+	}
+
 	switch flag.Arg(0) {
 	case "lease":
-		err = sweepLease(base, b)
+		err = sweepLease(base, b, opts)
 	case "warps":
-		err = sweepWarps(base, b)
+		err = sweepWarps(base, b, opts)
 	case "tclease":
-		err = sweepTCLease(base, b)
+		err = sweepTCLease(base, b, opts)
 	case "tsbits":
-		err = sweepTSBits(base, b)
+		err = sweepTSBits(base, b, opts)
 	case "sched":
-		err = sweepSched(base, b)
+		err = sweepSched(base, b, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", flag.Arg(0))
-		os.Exit(1)
+		return 1
+	}
+	if err == nil && pts != nil {
+		err = pts.replay(dst)
+		if cerr := dst.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func sweepLease(base config.Config, b workload.Benchmark) error {
+// startProfiles starts the pprof captures requested by -cpuprofile and
+// -memprofile and returns the function that finalizes them.
+func startProfiles() (stop func(), err error) {
+	var cpuf *os.File
+	if *cpuprofile != "" {
+		cpuf, err = os.Create(*cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuf); err != nil {
+			cpuf.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuf != nil {
+			pprof.StopCPUProfile()
+			cpuf.Close()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
+				return
+			}
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
+// pointTraces hands one buffering bus to each sweep point (called from
+// worker goroutines) and replays the buffers in point order afterwards,
+// keeping the trace file independent of worker scheduling.
+type pointTraces struct {
+	mu    sync.Mutex
+	buses map[int]*trace.Bus
+	bufs  map[int]*trace.BufferSink
+}
+
+func newPointTraces() *pointTraces {
+	return &pointTraces{buses: map[int]*trace.Bus{}, bufs: map[int]*trace.BufferSink{}}
+}
+
+func (p *pointTraces) bus(point int) *trace.Bus {
+	buf := &trace.BufferSink{}
+	var sinks []trace.Sink
+	if *metricsIvl > 0 {
+		sinks = append(sinks, trace.NewIntervalSink(buf, *metricsIvl))
+	}
+	sinks = append(sinks, buf)
+	b := trace.NewBus(sinks...)
+	p.mu.Lock()
+	p.buses[point] = b
+	p.bufs[point] = buf
+	p.mu.Unlock()
+	return b
+}
+
+// replay closes each point's bus (flushing its final interval-metrics
+// row into the buffer) and streams the buffers into dst in point order,
+// separated by "sweep-point" marker events.
+func (p *pointTraces) replay(dst trace.Sink) error {
+	for i := 0; i < len(p.bufs); i++ {
+		if err := p.buses[i].Close(); err != nil {
+			return err
+		}
+		dst.Event(&trace.Event{Kind: trace.KindMetrics, Label: "sweep-point",
+			Src: -1, Dst: -1, Warp: -1, Val: uint64(i)})
+		p.bufs[i].Replay(dst)
+	}
+	return nil
+}
+
+func sweepLease(base config.Config, b workload.Benchmark, opts []experiments.RunOpt) error {
 	fmt.Printf("RCC fixed-lease sweep on %s (predictor off)\n", b.Name)
 	fmt.Printf("%8s %10s %10s %12s\n", "lease", "cycles", "expired", "renewed")
-	rows, err := experiments.LeaseSweep(base, b, []uint64{8, 32, 64, 128, 512, 2048}, *jobs)
+	rows, err := experiments.LeaseSweep(base, b, []uint64{8, 32, 64, 128, 512, 2048}, *jobs, opts...)
 	if err != nil {
 		return err
 	}
@@ -77,10 +219,10 @@ func sweepLease(base config.Config, b workload.Benchmark) error {
 	return nil
 }
 
-func sweepWarps(base config.Config, b workload.Benchmark) error {
+func sweepWarps(base config.Config, b workload.Benchmark, opts []experiments.RunOpt) error {
 	fmt.Printf("warps-per-SM sweep on %s (RCC, SC)\n", b.Name)
 	fmt.Printf("%8s %10s %8s %16s\n", "warps", "cycles", "IPC", "SC stall cycles")
-	rows, err := experiments.WarpSweep(base, b, []int{4, 8, 16, 32, 48}, *jobs)
+	rows, err := experiments.WarpSweep(base, b, []int{4, 8, 16, 32, 48}, *jobs, opts...)
 	if err != nil {
 		return err
 	}
@@ -90,10 +232,10 @@ func sweepWarps(base config.Config, b workload.Benchmark) error {
 	return nil
 }
 
-func sweepTCLease(base config.Config, b workload.Benchmark) error {
+func sweepTCLease(base config.Config, b workload.Benchmark, opts []experiments.RunOpt) error {
 	fmt.Printf("TC-Strong lease sweep on %s\n", b.Name)
 	fmt.Printf("%8s %10s %16s %12s\n", "lease", "cycles", "store stall cyc", "L1 hit rate")
-	rows, err := experiments.TCLeaseSweep(base, b, []uint64{100, 200, 400, 800, 1600}, *jobs)
+	rows, err := experiments.TCLeaseSweep(base, b, []uint64{100, 200, 400, 800, 1600}, *jobs, opts...)
 	if err != nil {
 		return err
 	}
@@ -103,10 +245,10 @@ func sweepTCLease(base config.Config, b workload.Benchmark) error {
 	return nil
 }
 
-func sweepTSBits(base config.Config, b workload.Benchmark) error {
+func sweepTSBits(base config.Config, b workload.Benchmark, opts []experiments.RunOpt) error {
 	fmt.Printf("RCC timestamp-width sweep on %s\n", b.Name)
 	fmt.Printf("%8s %10s %10s %14s\n", "bits", "cycles", "rollovers", "stall cycles")
-	rows, err := experiments.TSBitsSweep(base, b, []uint{14, 16, 18, 20, 24, 32}, *jobs)
+	rows, err := experiments.TSBitsSweep(base, b, []uint{14, 16, 18, 20, 24, 32}, *jobs, opts...)
 	if err != nil {
 		return err
 	}
@@ -116,11 +258,11 @@ func sweepTSBits(base config.Config, b workload.Benchmark) error {
 	return nil
 }
 
-func sweepSched(base config.Config, b workload.Benchmark) error {
+func sweepSched(base config.Config, b workload.Benchmark, opts []experiments.RunOpt) error {
 	fmt.Printf("warp-scheduler sweep on %s\n", b.Name)
 	fmt.Printf("%6s %8s %10s %8s %16s\n", "sched", "proto", "cycles", "IPC", "SC stall cycles")
 	rows, err := experiments.SchedulerSweep(base, b,
-		[]config.Protocol{config.MESI, config.TCS, config.RCC}, *jobs)
+		[]config.Protocol{config.MESI, config.TCS, config.RCC}, *jobs, opts...)
 	if err != nil {
 		return err
 	}

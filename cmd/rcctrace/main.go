@@ -4,128 +4,58 @@
 // shows a request or response together with the logical timestamps it
 // carries and the resulting core clocks.
 //
-//	rcctrace [-lease n]
+// The scenario lives in internal/scenario; this command just wires trace
+// sinks to it. Stdout always carries the human-readable renderer
+// (trace.TextSink); -trace additionally captures the full event stream
+// (messages, lease grants/expiries, clock advances, L1/L2 transitions) to
+// a file as JSONL or a Perfetto-loadable Chrome trace.
+//
+//	rcctrace [-lease n] [-trace file] [-trace-format jsonl|perfetto]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
-	"rccsim/internal/coherence"
-	"rccsim/internal/config"
-	"rccsim/internal/core"
-	"rccsim/internal/mem"
-	"rccsim/internal/stats"
-	"rccsim/internal/timing"
+	"rccsim/internal/scenario"
+	"rccsim/internal/trace"
 )
 
-var lease = flag.Uint64("lease", 10, "fixed RCC lease duration")
-
-// tracer wraps the wire and logs every message.
-type tracer struct {
-	cfg    config.Config
-	l1s    []*core.L1
-	l2     *core.L2
-	now    *timing.Cycle
-	events int
-}
-
-func (t *tracer) Send(m *coherence.Msg, now timing.Cycle) {
-	t.events++
-	dir := "L1->L2"
-	who := fmt.Sprintf("C%d", m.Src)
-	if m.Src >= t.cfg.NumSMs {
-		dir = "L2->L1"
-		who = fmt.Sprintf("C%d", m.Dst)
-	}
-	fmt.Printf("  cyc %-5d %-7s %-6s %-3s line=%d now=%-3d ver=%-3d exp=%-3d val=%d\n",
-		now, dir, m.Type, who, m.Line, m.Now, m.Ver, m.Exp, m.Val)
-	if m.Dst < t.cfg.NumSMs {
-		t.l1s[m.Dst].Deliver(m)
-	} else {
-		t.l2.Deliver(m)
-	}
-}
-
-type sink struct{ last *coherence.Request }
-
-func (s *sink) MemDone(r *coherence.Request, now timing.Cycle) { s.last = r }
+var (
+	lease       = flag.Uint64("lease", 10, "fixed RCC lease duration")
+	traceOut    = flag.String("trace", "", "write the full event trace to this file")
+	traceFormat = flag.String("trace-format", "jsonl", "event trace format: jsonl or perfetto")
+)
 
 func main() {
 	flag.Parse()
-	cfg := config.Small()
-	cfg.NumSMs = 2
-	cfg.L2Partitions = 1
-	cfg.RCCPredictor = false
-	cfg.RCCFixedLease = *lease
-	cfg.RCCLivelockTick = 0
-
-	st := stats.New()
-	backing := mem.NewBacking()
-	dram := mem.NewDRAM(cfg, st)
-	now := new(timing.Cycle)
-	tr := &tracer{cfg: cfg, now: now}
-	tr.l2 = core.NewL2(cfg, 0, tr, st, dram, backing, nil)
-	s := &sink{}
-	for i := 0; i < 2; i++ {
-		tr.l1s = append(tr.l1s, core.NewL1(cfg, i, tr, s, st, core.NewClock(false)))
-	}
-
-	// Fig. 3 initial state.
-	backing.Write(0, 7)
-	backing.Write(1, 9)
-	tr.l2.Seed(0, 0, 10, 7)  // A
-	tr.l2.Seed(1, 30, 10, 9) // B
-	tr.l1s[0].Seed(0, 10, 7)
-	tr.l1s[0].Seed(1, 10, 9)
-	tr.l1s[1].Seed(0, 10, 7)
-	tr.l1s[1].Seed(1, 10, 9)
-	tr.l1s[0].Clock().AdvanceRead(20)
-
-	pump := func() {
-		for i := 0; i < 100000; i++ {
-			did := tr.l2.Tick(*now)
-			for _, l1 := range tr.l1s {
-				if l1.Tick(*now) {
-					did = true
-				}
-			}
-			drained := tr.l2.Drained() && tr.l1s[0].Drained() && tr.l1s[1].Drained()
-			if drained && !did {
-				return
-			}
-			*now++
+	sinks := []trace.Sink{trace.NewTextSink(os.Stdout, 2)}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcctrace:", err)
+			os.Exit(1)
 		}
-		panic("trace did not drain")
-	}
-
-	var id uint64
-	op := func(c int, class stats.OpClass, line, val uint64, label string) {
-		fmt.Printf("%s\n", label)
-		id++
-		r := &coherence.Request{ID: id, Class: class, Line: line, Val: val}
-		if !tr.l1s[c].Access(r, *now) {
-			panic("rejected")
-		}
-		pump()
-		if class == stats.OpLoad {
-			fmt.Printf("  -> value %d   (C0.now=%d C1.now=%d)\n",
-				r.Data, tr.l1s[0].Clock().Now(), tr.l1s[1].Clock().Now())
-		} else {
-			fmt.Printf("  -> done       (C0.now=%d C1.now=%d)\n",
-				tr.l1s[0].Clock().Now(), tr.l1s[1].Clock().Now())
+		defer f.Close()
+		switch *traceFormat {
+		case "jsonl":
+			sinks = append(sinks, trace.NewJSONLSink(f))
+		case "perfetto":
+			sinks = append(sinks, trace.NewPerfettoSink(f))
+		default:
+			fmt.Fprintf(os.Stderr, "rcctrace: unknown -trace-format %q (want jsonl or perfetto)\n", *traceFormat)
+			os.Exit(1)
 		}
 	}
-
-	fmt.Printf("RCC message trace (Fig. 3 scenario, lease=%d)\n", *lease)
-	fmt.Println("addresses: A=line 0, B=line 1; initial C0.now=20, C1.now=0")
-	fmt.Println()
-	op(0, stats.OpStore, 0, 100, "C0: ST A = 100")
-	op(0, stats.OpLoad, 1, 0, "C0: LD B")
-	op(1, stats.OpStore, 1, 300, "C1: ST B = 300")
-	op(1, stats.OpLoad, 0, 0, "C1: LD A")
-	op(0, stats.OpStore, 1, 400, "C0: ST B = 400")
-	op(0, stats.OpStore, 0, 200, "C0: ST A = 200")
-	op(1, stats.OpLoad, 0, 0, "C1: LD A (hits stale lease - still SC!)")
-	fmt.Printf("\n%d coherence messages total; stores never stalled for permissions.\n", tr.events)
+	bus := trace.NewBus(sinks...)
+	msgs, err := scenario.Walkthrough(os.Stdout, *lease, bus)
+	if err == nil {
+		err = bus.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcctrace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d coherence messages total; stores never stalled for permissions.\n", msgs)
 }

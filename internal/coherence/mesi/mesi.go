@@ -17,6 +17,7 @@ import (
 	"rccsim/internal/mem"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
+	"rccsim/internal/trace"
 )
 
 // l1Line is the per-line L1 metadata (S state + value).
@@ -40,6 +41,7 @@ type L1 struct {
 	port coherence.Port
 	sink coherence.Sink
 	st   *stats.Run
+	tr   *trace.Bus
 
 	tags  *mem.Array[l1Line]
 	mshrs *mem.MSHRs[l1MSHR]
@@ -60,6 +62,9 @@ func NewL1(cfg config.Config, id int, port coherence.Port, sink coherence.Sink, 
 		mshrs: mem.NewMSHRs[l1MSHR](cfg.L1MSHRs),
 	}
 }
+
+// SetTracer attaches the event bus (nil disables tracing).
+func (c *L1) SetTracer(tr *trace.Bus) { c.tr = tr }
 
 func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
@@ -180,6 +185,7 @@ func (c *L1) handle(m *coherence.Msg, now timing.Cycle) {
 		c.st.Invalidations++
 		if e := c.tags.Lookup(m.Line); e != nil {
 			c.tags.Invalidate(e)
+			c.tr.L1State(now, c.id, m.Line, "S->I_inv")
 		}
 		c.port.Send(&coherence.Msg{
 			Type: coherence.InvAck,
@@ -292,6 +298,7 @@ type L2 struct {
 	ideal  bool // SC-IDEAL: permissions acquired instantly
 	port   coherence.Port
 	st     *stats.Run
+	tr     *trace.Bus
 
 	tags    *mem.Array[l2Line]
 	mshrs   *mem.MSHRs[l2MSHR]
@@ -328,6 +335,9 @@ func NewL2(cfg config.Config, part int, ideal bool, port coherence.Port, st *sta
 		zap:     zap,
 	}
 }
+
+// SetTracer attaches the event bus (nil disables tracing).
+func (c *L2) SetTracer(tr *trace.Bus) { c.tr = tr }
 
 // Deliver implements coherence.L2. Directory-maintenance messages (PutS,
 // InvAck) travel on their own virtual network and are serviced by the
@@ -456,6 +466,7 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 		return
 	}
 	// Invalidate every sharer; the write completes when all ack.
+	c.tr.L2State(now, c.part, m.Line, "inv-round", 0, 0)
 	w := &invWait{write: m}
 	c.invs[m.Line] = w
 	for core := 0; core < c.cfg.NumSMs; core++ {
@@ -476,8 +487,10 @@ func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
 	old := l.Val
 	if m.Type == coherence.AtomicReq {
 		l.Val = old + m.Val
+		c.tr.L2State(now, c.part, m.Line, "atomic", 0, 0)
 	} else {
 		l.Val = m.Val
+		c.tr.L2State(now, c.part, m.Line, "write", 0, 0)
 	}
 	l.Dirty = true
 	resp := &coherence.Msg{
@@ -627,6 +640,7 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 // return, the address belongs to the invalidation round.
 func (c *L2) recall(line, sharers uint64, now timing.Cycle) {
 	c.st.Recalls++
+	c.tr.L2State(now, c.part, line, "recall", 0, 0)
 	if c.ideal {
 		for core := 0; core < c.cfg.NumSMs; core++ {
 			if sharers&(1<<uint(core)) != 0 {

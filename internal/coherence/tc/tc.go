@@ -17,6 +17,7 @@ import (
 	"rccsim/internal/mem"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
+	"rccsim/internal/trace"
 )
 
 // l1Line is the per-line L1 metadata: physical lease end and value.
@@ -40,6 +41,7 @@ type L1 struct {
 	port coherence.Port
 	sink coherence.Sink
 	st   *stats.Run
+	tr   *trace.Bus
 
 	tags  *mem.Array[l1Line]
 	mshrs *mem.MSHRs[l1MSHR]
@@ -65,6 +67,9 @@ func NewL1(cfg config.Config, id int, weak bool, port coherence.Port, sink coher
 		gwct:  make([]timing.Cycle, cfg.WarpsPerSM),
 	}
 }
+
+// SetTracer attaches the event bus (nil disables tracing).
+func (c *L1) SetTracer(tr *trace.Bus) { c.tr = tr }
 
 func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
@@ -125,6 +130,9 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 			c.st.L1LoadExpired--
 		}
 		return false
+	}
+	if e != nil {
+		c.tr.LeaseExpiredAt(now, c.id, r.Line, uint64(e.Meta.Lease), uint64(now))
 	}
 	m.getsOut = true
 	m.loads = append(m.loads, r)
@@ -313,6 +321,7 @@ type L2 struct {
 	weak   bool
 	port   coherence.Port
 	st     *stats.Run
+	tr     *trace.Bus
 
 	tags    *mem.Array[l2Line]
 	mshrs   *mem.MSHRs[l2MSHR]
@@ -349,6 +358,9 @@ func NewL2(cfg config.Config, part int, weak bool, port coherence.Port, st *stat
 		blocked: make(map[uint64][]*coherence.Msg),
 	}
 }
+
+// SetTracer attaches the event bus (nil disables tracing).
+func (c *L2) SetTracer(tr *trace.Bus) { c.tr = tr }
 
 // Deliver implements coherence.L2.
 func (c *L2) Deliver(m *coherence.Msg) {
@@ -432,6 +444,7 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 	if m.Exp > 0 {
 		c.st.ExpiredGets++ // tracked for Fig 6 comparability
 	}
+	c.tr.Lease(now, trace.LeaseGrant, c.part, m.Line, uint64(now), uint64(lease), m.Src)
 	c.port.Send(&coherence.Msg{
 		Type: coherence.Data,
 		Line: m.Line,
@@ -450,6 +463,7 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 	if !c.weak && l.GTS >= now {
 		// TC-Strong: wait out the lease.
 		c.st.L2StoreStallCycles += uint64(l.GTS + 1 - now)
+		c.tr.L2State(now, c.part, m.Line, "store-stall", uint64(now), uint64(l.GTS))
 		c.blocked[m.Line] = []*coherence.Msg{}
 		c.stallQ.Push(l.GTS+1, m)
 		return
@@ -462,8 +476,10 @@ func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
 	old := l.Val
 	if m.Type == coherence.AtomicReq {
 		l.Val = old + m.Val
+		c.tr.L2State(now, c.part, m.Line, "atomic", uint64(now), uint64(l.GTS))
 	} else {
 		l.Val = m.Val
+		c.tr.L2State(now, c.part, m.Line, "write", uint64(now), uint64(l.GTS))
 	}
 	l.Dirty = true
 	gwct := uint64(now)
@@ -584,6 +600,7 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 		lease := now + timing.Cycle(c.cfg.TCLease)
 		l.GTS = lease
 		for _, r := range mshr.readers {
+			c.tr.Lease(now, trace.LeaseGrant, c.part, line, uint64(now), uint64(lease), r.Src)
 			c.port.Send(&coherence.Msg{
 				Type: coherence.Data,
 				Line: line,

@@ -6,6 +6,7 @@ import (
 	"rccsim/internal/mem"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
+	"rccsim/internal/trace"
 )
 
 // l1State is an RCC L1 transient state (Fig. 4/5). Stable states V and I
@@ -50,6 +51,7 @@ type L1 struct {
 	port coherence.Port
 	sink coherence.Sink
 	st   *stats.Run
+	tr   *trace.Bus
 	clk  *Clock
 
 	tags  *mem.Array[l1Line]
@@ -79,6 +81,9 @@ func NewL1(cfg config.Config, id int, port coherence.Port, sink coherence.Sink, 
 
 // Clock exposes the core's logical clock.
 func (c *L1) Clock() *Clock { return c.clk }
+
+// SetTracer attaches the event bus (nil disables tracing).
+func (c *L1) SetTracer(tr *trace.Bus) { c.tr = tr }
 
 func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
@@ -147,6 +152,12 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 		}
 		return false
 	}
+	if e != nil {
+		c.tr.LeaseExpiredAt(now, c.id, r.Line, e.Meta.Exp, c.clk.ReadNow())
+		c.tr.L1State(now, c.id, r.Line, "V_exp->IV")
+	} else {
+		c.tr.L1State(now, c.id, r.Line, "I->IV")
+	}
 	m.state = stateIV
 	m.getsOut = true
 	m.loads = append(m.loads, r)
@@ -182,11 +193,14 @@ func (c *L1) store(r *coherence.Request, now timing.Cycle) bool {
 		}
 		if e := c.tags.Lookup(r.Line); c.readable(e) {
 			m.state = stateVI
+			c.tr.L1State(now, c.id, r.Line, "V->VI")
 		} else {
 			m.state = stateII
+			c.tr.L1State(now, c.id, r.Line, "I->II")
 		}
 	} else if m.state == stateIV {
 		m.state = stateII
+		c.tr.L1State(now, c.id, r.Line, "IV->II")
 	}
 	m.stores = append(m.stores, r)
 	c.port.Send(&coherence.Msg{
@@ -211,11 +225,14 @@ func (c *L1) atomic(r *coherence.Request, now timing.Cycle) bool {
 		}
 		if e := c.tags.Lookup(r.Line); c.readable(e) {
 			m.state = stateVI
+			c.tr.L1State(now, c.id, r.Line, "V->VI")
 		} else {
 			m.state = stateII
+			c.tr.L1State(now, c.id, r.Line, "I->II")
 		}
 	} else if m.state == stateIV {
 		m.state = stateII
+		c.tr.L1State(now, c.id, r.Line, "IV->II")
 	}
 	m.stores = append(m.stores, r)
 	c.port.Send(&coherence.Msg{
@@ -282,6 +299,7 @@ func (c *L1) handle(m *coherence.Msg, now timing.Cycle) {
 // cached unless every way is pinned by an active MSHR.
 func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
 	c.clk.AdvanceRead(m.Ver)
+	c.tr.Clock(now, c.id, c.clk.ReadNow(), c.clk.WriteNow())
 	mshr := c.mshrs.Get(m.Line)
 
 	// Install the line (write-allocate on load).
@@ -307,18 +325,22 @@ func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
 	if len(mshr.stores) > 0 {
 		// Stores still outstanding: the fresh copy is readable (VI).
 		mshr.state = stateVI
+		c.tr.L1State(now, c.id, m.Line, "IV->VI")
 		return
 	}
+	c.tr.L1State(now, c.id, m.Line, "IV->V")
 	c.mshrs.Free(m.Line)
 }
 
 // handleRenew processes a lease-extension grant: no data, new expiration.
 func (c *L1) handleRenew(m *coherence.Msg, now timing.Cycle) {
 	c.clk.AdvanceRead(m.Ver)
+	c.tr.Clock(now, c.id, c.clk.ReadNow(), c.clk.WriteNow())
 	e := c.tags.Lookup(m.Line)
 	if e != nil {
 		e.Meta.Exp = m.Exp
 		c.tags.Touch(e)
+		c.tr.L1State(now, c.id, m.Line, "V_exp->V")
 	}
 	mshr := c.mshrs.Get(m.Line)
 	if mshr == nil {
@@ -346,6 +368,7 @@ func (c *L1) handleRenew(m *coherence.Msg, now timing.Cycle) {
 // drains, the block transitions to I — the local copy is stale.
 func (c *L1) handleAck(m *coherence.Msg, now timing.Cycle) {
 	c.clk.AdvanceWrite(m.Ver)
+	c.tr.Clock(now, c.id, c.clk.ReadNow(), c.clk.WriteNow())
 	mshr := c.mshrs.Get(m.Line)
 	if mshr == nil {
 		return
@@ -358,6 +381,7 @@ func (c *L1) handleAck(m *coherence.Msg, now timing.Cycle) {
 func (c *L1) handleAtomicData(m *coherence.Msg, now timing.Cycle) {
 	c.clk.AdvanceWrite(m.Ver)
 	c.clk.AdvanceRead(m.Ver)
+	c.tr.Clock(now, c.id, c.clk.ReadNow(), c.clk.WriteNow())
 	mshr := c.mshrs.Get(m.Line)
 	if mshr == nil {
 		return
@@ -381,8 +405,18 @@ func (c *L1) finishStore(mshr *l1MSHR, m *coherence.Msg, data uint64, now timing
 		c.tags.Invalidate(e)
 	}
 	if len(mshr.loads) > 0 {
+		if mshr.state == stateVI {
+			c.tr.L1State(now, c.id, m.Line, "VI->IV")
+		} else {
+			c.tr.L1State(now, c.id, m.Line, "II->IV")
+		}
 		mshr.state = stateIV
 		return
+	}
+	if mshr.state == stateVI {
+		c.tr.L1State(now, c.id, m.Line, "VI->I")
+	} else {
+		c.tr.L1State(now, c.id, m.Line, "II->I")
 	}
 	c.mshrs.Free(m.Line)
 }
@@ -406,6 +440,7 @@ func (c *L1) FlushNow(now timing.Cycle) {
 	c.clk.Reset()
 	c.tags.ForEach(func(e *mem.Entry[l1Line]) { c.tags.Invalidate(e) })
 	c.lastLivelock = now
+	c.tr.Rollover(now, trace.RolloverFlush, c.id, 0)
 }
 
 // Freeze stops the controller from accepting new SM requests (rollover).

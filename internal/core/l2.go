@@ -6,6 +6,7 @@ import (
 	"rccsim/internal/mem"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
+	"rccsim/internal/trace"
 )
 
 // l2Line is the per-block L2 metadata of Table II plus the lease
@@ -54,6 +55,7 @@ type L2 struct {
 	nodeID int
 	port   coherence.Port
 	st     *stats.Run
+	tr     *trace.Bus
 
 	tags    *mem.Array[l2Line]
 	mshrs   *mem.MSHRs[l2MSHR]
@@ -94,6 +96,9 @@ func NewL2(cfg config.Config, part int, port coherence.Port, st *stats.Run, dram
 // MNow returns the partition's memory time (exported for tests and the
 // rollover coordinator).
 func (c *L2) MNow() uint64 { return c.mnow }
+
+// SetTracer attaches the event bus (nil disables tracing).
+func (c *L2) SetTracer(tr *trace.Bus) { c.tr = tr }
 
 // Deliver implements coherence.L2: requests enter the access pipeline.
 func (c *L2) Deliver(m *coherence.Msg) {
@@ -225,6 +230,7 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
 			l.Pred = grown
 			c.st.PredictorGrows++
 		}
+		c.tr.Lease(c.lastDelivery, trace.LeaseRenew, c.part, m.Line, l.Ver, l.Exp, m.Src)
 		c.port.Send(&coherence.Msg{
 			Type: coherence.Renew,
 			Line: m.Line,
@@ -235,6 +241,7 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
 		}, c.lastDelivery)
 		return
 	}
+	c.tr.Lease(c.lastDelivery, trace.LeaseGrant, c.part, m.Line, l.Ver, l.Exp, m.Src)
 	c.port.Send(&coherence.Msg{
 		Type: coherence.Data,
 		Line: m.Line,
@@ -259,6 +266,7 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
 		c.st.PredictorDrops++
 	}
 	c.tags.Touch(e)
+	c.tr.L2State(c.lastDelivery, c.part, m.Line, "write", l.Ver, l.Exp)
 	c.port.Send(&coherence.Msg{
 		Type:  coherence.Ack,
 		Line:  m.Line,
@@ -283,6 +291,7 @@ func (c *L2) atomicHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
 		c.st.PredictorDrops++
 	}
 	c.tags.Touch(e)
+	c.tr.L2State(c.lastDelivery, c.part, m.Line, "atomic", l.Ver, l.Exp)
 	c.port.Send(&coherence.Msg{
 		Type:   coherence.Data,
 		Line:   m.Line,
@@ -437,6 +446,7 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 			lease := c.lease(l)
 			l.Exp = maxU(l.Exp, maxU(l.Ver+lease, mshr.lastRd+lease))
 			for _, r := range mshr.readers {
+				c.tr.Lease(now, trace.LeaseGrant, c.part, line, l.Ver, l.Exp, r.Src)
 				c.port.Send(&coherence.Msg{
 					Type: coherence.Data,
 					Line: line,
@@ -450,6 +460,7 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 		}
 	}
 
+	c.tr.L2State(now, c.part, line, "fill", l.Ver, l.Exp)
 	stalled := mshr.stalled
 	c.mshrs.Free(line)
 	// Replay stalled requests in arrival order (they hit in V now).
@@ -465,6 +476,7 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 func (c *L2) evict(v mem.Victim[l2Line], now timing.Cycle) {
 	c.st.L2Evictions++
 	c.mnow = maxU(c.mnow, maxU(v.Meta.Exp, v.Meta.Ver))
+	c.tr.L2State(now, c.part, v.Tag, "evict", v.Meta.Ver, v.Meta.Exp)
 	if v.Meta.Dirty {
 		c.backing.Write(v.Tag, v.Meta.Val)
 		c.dram.Submit(mem.DRAMReq{Line: v.Tag, Write: true, ID: v.Tag}, now)

@@ -31,6 +31,12 @@ type Runner struct {
 	Base config.Config
 	Jobs int // max concurrent simulations (set at construction)
 
+	// Progress, when non-nil, is invoked after each simulation a Preload
+	// batch completes (done so far, batch total). It runs on worker
+	// goroutines in completion order and must only drive side channels
+	// like stderr (see StderrProgress); it never affects results.
+	Progress func(done, total int)
+
 	mu    sync.Mutex
 	cache map[cacheKey]*flight
 	sem   chan struct{}

@@ -1,0 +1,76 @@
+// Observability hooks for the experiment harness: sweep/preload progress
+// reporting and per-point event tracing.
+//
+// Determinism note: progress callbacks fire from worker goroutines in
+// completion order (non-deterministic under jobs > 1) and must only drive
+// side channels like stderr. Trace buses, by contrast, are handed out one
+// per point and each is driven only by that point's single-threaded
+// machine, so replaying the buses in input order after the sweep yields
+// byte-identical output regardless of the jobs setting.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"rccsim/internal/trace"
+)
+
+// RunOpt configures one sweep/runAll invocation.
+type RunOpt func(*runOpts)
+
+type runOpts struct {
+	progress func(done, total int)
+	tracer   func(point int) *trace.Bus
+}
+
+func applyOpts(opts []RunOpt) runOpts {
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithProgress invokes fn after each completed point with the number of
+// points finished so far and the total. fn must be safe to call from
+// multiple goroutines (StderrProgress is).
+func WithProgress(fn func(done, total int)) RunOpt {
+	return func(o *runOpts) { o.progress = fn }
+}
+
+// WithPointTracer attaches the event bus returned by fn(i) to point i's
+// machine for the duration of its run. fn is called from worker
+// goroutines but each returned bus is used by exactly one machine;
+// returning a shared bus for two points is a data race. Hand out one
+// buffering bus per point (trace.BufferSink) and replay them in point
+// order after the sweep to keep trace output independent of jobs.
+func WithPointTracer(fn func(point int) *trace.Bus) RunOpt {
+	return func(o *runOpts) { o.tracer = fn }
+}
+
+// StderrProgress returns a progress callback that rewrites one status
+// line on w (normally os.Stderr) with points done/total and a wall-clock
+// ETA. It is mutex-guarded and so safe for concurrent workers; wall-clock
+// time never influences simulation results, only this side channel.
+func StderrProgress(w io.Writer, label string) func(done, total int) {
+	var mu sync.Mutex
+	start := time.Now()
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		elapsed := time.Since(start)
+		eta := "?"
+		if done > 0 {
+			remain := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+			eta = remain.Round(time.Second).String()
+		}
+		fmt.Fprintf(w, "\r%s: %d/%d points (%s elapsed, ETA %s)  ", label, done, total,
+			elapsed.Round(time.Second), eta)
+		if done == total {
+			fmt.Fprintln(w)
+		}
+	}
+}

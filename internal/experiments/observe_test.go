@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"rccsim/internal/config"
+	"rccsim/internal/trace"
+	"rccsim/internal/workload"
+)
+
+// traceLeaseSweep runs a small LeaseSweep with a per-point buffering
+// tracer and returns the buffers replayed in point order as JSONL — the
+// same recipe cmd/rccsweep -trace uses.
+func traceLeaseSweep(t *testing.T, jobs int) []byte {
+	t.Helper()
+	base := config.Small()
+	base.Scale = 0.05
+	b, ok := workload.ByName("BH")
+	if !ok {
+		t.Fatal("benchmark BH missing")
+	}
+	var mu sync.Mutex
+	bufs := map[int]*trace.BufferSink{}
+	_, err := LeaseSweep(base, b, []uint64{8, 64, 512}, jobs,
+		WithPointTracer(func(point int) *trace.Bus {
+			buf := &trace.BufferSink{}
+			mu.Lock()
+			bufs[point] = buf
+			mu.Unlock()
+			return trace.NewBus(buf)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	dst := trace.NewJSONLSink(&out)
+	for i := 0; i < len(bufs); i++ {
+		bufs[i].Replay(dst)
+	}
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestSweepTraceDeterminism requires the replayed sweep trace to be
+// byte-identical between a sequential and a parallel run (the contract
+// cmd/rccsweep -trace relies on). Under -race this also exercises the
+// one-bus-per-point ownership discipline.
+func TestSweepTraceDeterminism(t *testing.T) {
+	seq := traceLeaseSweep(t, 1)
+	par := traceLeaseSweep(t, 4)
+	if len(seq) == 0 {
+		t.Fatal("sweep produced no trace events")
+	}
+	if !bytes.Equal(seq, par) {
+		sl := bytes.Split(seq, []byte("\n"))
+		pl := bytes.Split(par, []byte("\n"))
+		for i := 0; i < len(sl) && i < len(pl); i++ {
+			if !bytes.Equal(sl[i], pl[i]) {
+				t.Fatalf("trace differs between -j 1 and -j 4 at line %d:\n seq %s\n par %s", i+1, sl[i], pl[i])
+			}
+		}
+		t.Fatalf("trace length differs between -j 1 and -j 4: %d vs %d lines", len(sl), len(pl))
+	}
+}
+
+// TestProgressCallback checks progress fires once per point and ends at
+// done == total, for both sweeps (WithProgress) and Runner preloads.
+func TestProgressCallback(t *testing.T) {
+	base := config.Small()
+	base.Scale = 0.05
+	b, _ := workload.ByName("BH")
+	var mu sync.Mutex
+	var calls []int
+	total := -1
+	_, err := LeaseSweep(base, b, []uint64{8, 64}, 2,
+		WithProgress(func(done, tot int) {
+			mu.Lock()
+			calls = append(calls, done)
+			total = tot
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 || total != 2 {
+		t.Fatalf("progress calls %v (total %d), want 2 calls with total 2", calls, total)
+	}
+	seen := map[int]bool{}
+	for _, d := range calls {
+		if d < 1 || d > 2 || seen[d] {
+			t.Fatalf("bad done sequence %v", calls)
+		}
+		seen[d] = true
+	}
+}
+
+// TestStderrProgress checks the rendered line shape (done/total, ETA) and
+// the final newline.
+func TestStderrProgress(t *testing.T) {
+	var buf bytes.Buffer
+	p := StderrProgress(&buf, "sweep")
+	p(1, 2)
+	p(2, 2)
+	out := buf.String()
+	if !strings.Contains(out, "sweep: 1/2 points") || !strings.Contains(out, "ETA") {
+		t.Fatalf("progress line wrong: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("no final newline after completion: %q", out)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"rccsim/internal/config"
 	"rccsim/internal/sim"
+	"rccsim/internal/trace"
 	"rccsim/internal/workload"
 )
 
@@ -67,9 +68,13 @@ func crossReqs(ps []config.Protocol, bs []workload.Benchmark) []Request {
 // while row assembly stays a cheap, deterministic sequential loop over the
 // now-warm cache.
 func (r *Runner) Preload(reqs []Request) error {
+	var done atomic.Int64
 	return parallelDo(len(reqs), len(reqs), func(i int) error {
 		q := reqs[i]
 		_, err := r.resultOpt(q.Protocol, q.Bench, q.Renew, q.Predictor)
+		if r.Progress != nil {
+			r.Progress(int(done.Add(1)), len(reqs))
+		}
 		return err
 	})
 }
@@ -147,12 +152,22 @@ func parallelDo(jobs, n int, f func(i int) error) error {
 
 // runAll simulates b under each config with at most jobs concurrent
 // workers, returning results in input order. Used by the parameter sweeps,
-// whose points differ in fields outside the Runner's cache key.
-func runAll(cfgs []config.Config, b workload.Benchmark, jobs int) ([]sim.Result, error) {
+// whose points differ in fields outside the Runner's cache key. Options
+// attach progress reporting and per-point tracing (observe.go).
+func runAll(cfgs []config.Config, b workload.Benchmark, jobs int, opts ...RunOpt) ([]sim.Result, error) {
+	o := applyOpts(opts)
 	out := make([]sim.Result, len(cfgs))
+	var done atomic.Int64
 	err := parallelDo(jobs, len(cfgs), func(i int) error {
-		res, err := sim.RunBenchmark(cfgs[i], b)
+		var bus *trace.Bus
+		if o.tracer != nil {
+			bus = o.tracer(i)
+		}
+		res, err := sim.RunBenchmarkTraced(cfgs[i], b, bus)
 		out[i] = res
+		if o.progress != nil {
+			o.progress(int(done.Add(1)), len(cfgs))
+		}
 		return err
 	})
 	if err != nil {

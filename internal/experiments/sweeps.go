@@ -24,7 +24,7 @@ type LeaseSweepRow struct {
 
 // LeaseSweep runs benchmark b under RCC with the predictor disabled for
 // each fixed lease value, jobs points at a time.
-func LeaseSweep(base config.Config, b workload.Benchmark, leases []uint64, jobs int) ([]LeaseSweepRow, error) {
+func LeaseSweep(base config.Config, b workload.Benchmark, leases []uint64, jobs int, opts ...RunOpt) ([]LeaseSweepRow, error) {
 	cfgs := make([]config.Config, len(leases))
 	for i, lease := range leases {
 		cfg := base
@@ -33,7 +33,7 @@ func LeaseSweep(base config.Config, b workload.Benchmark, leases []uint64, jobs 
 		cfg.RCCFixedLease = lease
 		cfgs[i] = cfg
 	}
-	results, err := runAll(cfgs, b, jobs)
+	results, err := runAll(cfgs, b, jobs, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +60,7 @@ type WarpSweepRow struct {
 
 // WarpSweep runs benchmark b under RCC-SC for each warps-per-SM count,
 // jobs points at a time.
-func WarpSweep(base config.Config, b workload.Benchmark, warps []int, jobs int) ([]WarpSweepRow, error) {
+func WarpSweep(base config.Config, b workload.Benchmark, warps []int, jobs int, opts ...RunOpt) ([]WarpSweepRow, error) {
 	cfgs := make([]config.Config, len(warps))
 	for i, w := range warps {
 		cfg := base
@@ -68,7 +68,7 @@ func WarpSweep(base config.Config, b workload.Benchmark, warps []int, jobs int) 
 		cfg.WarpsPerSM = w
 		cfgs[i] = cfg
 	}
-	results, err := runAll(cfgs, b, jobs)
+	results, err := runAll(cfgs, b, jobs, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +96,7 @@ type TCLeaseSweepRow struct {
 
 // TCLeaseSweep runs benchmark b under TC-Strong for each lease duration,
 // jobs points at a time.
-func TCLeaseSweep(base config.Config, b workload.Benchmark, leases []uint64, jobs int) ([]TCLeaseSweepRow, error) {
+func TCLeaseSweep(base config.Config, b workload.Benchmark, leases []uint64, jobs int, opts ...RunOpt) ([]TCLeaseSweepRow, error) {
 	cfgs := make([]config.Config, len(leases))
 	for i, lease := range leases {
 		cfg := base
@@ -104,7 +104,7 @@ func TCLeaseSweep(base config.Config, b workload.Benchmark, leases []uint64, job
 		cfg.TCLease = lease
 		cfgs[i] = cfg
 	}
-	results, err := runAll(cfgs, b, jobs)
+	results, err := runAll(cfgs, b, jobs, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +137,7 @@ type TSBitsSweepRow struct {
 // TSBitsSweep runs benchmark b under RCC for each timestamp width, jobs
 // points at a time. Widths too narrow for the configured maximum lease are
 // skipped.
-func TSBitsSweep(base config.Config, b workload.Benchmark, bits []uint, jobs int) ([]TSBitsSweepRow, error) {
+func TSBitsSweep(base config.Config, b workload.Benchmark, bits []uint, jobs int, opts ...RunOpt) ([]TSBitsSweepRow, error) {
 	var kept []uint
 	var cfgs []config.Config
 	for _, n := range bits {
@@ -150,7 +150,7 @@ func TSBitsSweep(base config.Config, b workload.Benchmark, bits []uint, jobs int
 		kept = append(kept, n)
 		cfgs = append(cfgs, cfg)
 	}
-	results, err := runAll(cfgs, b, jobs)
+	results, err := runAll(cfgs, b, jobs, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +178,7 @@ type SchedSweepRow struct {
 // SchedulerSweep runs benchmark b under each (scheduler, protocol) pair,
 // jobs points at a time — a sensitivity study for the Table III "loose
 // round-robin" choice.
-func SchedulerSweep(base config.Config, b workload.Benchmark, protocols []config.Protocol, jobs int) ([]SchedSweepRow, error) {
+func SchedulerSweep(base config.Config, b workload.Benchmark, protocols []config.Protocol, jobs int, opts ...RunOpt) ([]SchedSweepRow, error) {
 	type point struct {
 		sched config.Scheduler
 		proto config.Protocol
@@ -194,7 +194,7 @@ func SchedulerSweep(base config.Config, b workload.Benchmark, protocols []config
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := runAll(cfgs, b, jobs)
+	results, err := runAll(cfgs, b, jobs, opts...)
 	if err != nil {
 		return nil, err
 	}

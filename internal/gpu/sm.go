@@ -14,6 +14,7 @@ import (
 	"rccsim/internal/config"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
+	"rccsim/internal/trace"
 	"rccsim/internal/workload"
 )
 
@@ -76,6 +77,7 @@ type SM struct {
 	sc  bool
 	l1  coherence.L1
 	st  *stats.Run
+	tr  *trace.Bus
 	obs Observer
 
 	warps    []*warp
@@ -190,6 +192,7 @@ func (s *SM) Tick(now timing.Cycle) bool {
 			s.idleValid = true
 			s.idleFrom = now
 			s.idleBlame = s.blame(s.blocked[0])
+			s.tr.StallBegin(now, s.id, s.blocked[0].id, s.idleBlame)
 		}
 		// Only the op the scheduler would actually have issued (the
 		// first blocked warp in round-robin order) loses its slot;
@@ -207,6 +210,7 @@ func (s *SM) closeIdle(now timing.Cycle) {
 		return
 	}
 	s.idleValid = false
+	s.tr.StallEnd(now, s.id, s.idleBlame, uint64(now-s.idleFrom))
 	if now > s.idleFrom {
 		s.st.SCStallCycles[s.idleBlame] += uint64(now - s.idleFrom)
 		s.st.SCStallEvents++
@@ -419,6 +423,9 @@ func (s *SM) checkBarrier() {
 	}
 	s.dirty = true
 }
+
+// SetTracer attaches the event bus (nil disables tracing).
+func (s *SM) SetTracer(tr *trace.Bus) { s.tr = tr }
 
 // MemDone implements coherence.Sink.
 func (s *SM) MemDone(r *coherence.Request, now timing.Cycle) {

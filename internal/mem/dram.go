@@ -4,6 +4,7 @@ import (
 	"rccsim/internal/config"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
+	"rccsim/internal/trace"
 )
 
 // DRAMReq is one line-granularity DRAM access.
@@ -39,6 +40,8 @@ type DRAM struct {
 	queue    []pendingReq
 	done     timing.Queue[DRAMReq]
 	st       *stats.Run
+	tr       *trace.Bus
+	part     int
 	rowLines uint64
 	lastTick timing.Cycle
 }
@@ -52,6 +55,13 @@ func NewDRAM(cfg config.Config, st *stats.Run) *DRAM {
 		rowLines: uint64(cfg.DRAMRowLines),
 		lastTick: timing.Never, // so the first Tick, even at cycle 0, schedules
 	}
+}
+
+// SetTracer attaches the event bus (nil disables tracing); part is the L2
+// partition this channel belongs to (the DRAM itself doesn't know it).
+func (d *DRAM) SetTracer(tr *trace.Bus, part int) {
+	d.tr = tr
+	d.part = part
 }
 
 // Submit enqueues req at cycle now; the scheduler issues it later.
@@ -110,7 +120,8 @@ func (d *DRAM) schedule(now timing.Cycle) bool {
 
 	b := &d.banks[p.bank]
 	var access timing.Cycle
-	if b.hasOpen && b.openRow == p.row {
+	rowHit := b.hasOpen && b.openRow == p.row
+	if rowHit {
 		access = timing.Cycle(d.cfg.DRAMtCL)
 		d.st.DRAMRowHits++
 	} else {
@@ -118,6 +129,18 @@ func (d *DRAM) schedule(now timing.Cycle) bool {
 		d.st.DRAMRowMisses++
 		b.hasOpen = true
 		b.openRow = p.row
+	}
+	if d.tr != nil {
+		label := "read-miss"
+		switch {
+		case p.req.Write && rowHit:
+			label = "write-hit"
+		case p.req.Write:
+			label = "write-miss"
+		case rowHit:
+			label = "read-hit"
+		}
+		d.tr.DRAMOp(now, d.part, p.req.Line, label)
 	}
 	dataStart := timing.Max(now+access, d.busFree)
 	dataEnd := dataStart + timing.Cycle(d.cfg.DRAMBusCycles)

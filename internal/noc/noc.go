@@ -11,6 +11,7 @@ import (
 	"rccsim/internal/config"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
+	"rccsim/internal/trace"
 )
 
 // Node receives delivered messages.
@@ -24,6 +25,7 @@ type Node interface {
 type Network struct {
 	cfg   config.Config
 	st    *stats.Run
+	tr    *trace.Bus
 	nodes []Node
 
 	// Per-port busy-until times, separately for the request direction
@@ -53,12 +55,16 @@ func New(cfg config.Config, st *stats.Run) *Network {
 // Register attaches the receiver for node id.
 func (n *Network) Register(id int, node Node) { n.nodes[id] = node }
 
+// SetTracer attaches the event bus (nil disables tracing).
+func (n *Network) SetTracer(tr *trace.Bus) { n.tr = tr }
+
 // Send injects m at cycle now. Delivery happens via Tick once the message
 // has traversed injection serialization, the router pipeline, and ejection
 // serialization.
 func (n *Network) Send(m *coherence.Msg, now timing.Cycle) {
 	flits := coherence.Flits(n.cfg, m)
 	n.st.Traffic(m.Type.Class(), flits)
+	n.tr.MsgSend(now, m, flits)
 
 	ser := n.serialization(flits)
 	pipe := timing.Cycle(n.cfg.NoCPipeLatency)
@@ -95,6 +101,7 @@ func (n *Network) Tick(now timing.Cycle) bool {
 			return did
 		}
 		did = true
+		n.tr.MsgRecv(now, m)
 		n.nodes[m.Dst].Deliver(m)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"rccsim/internal/config"
 	"rccsim/internal/sc"
 	"rccsim/internal/timing"
+	"rccsim/internal/trace"
 	"rccsim/internal/workload"
 )
 
@@ -57,7 +58,15 @@ func runLitmusWith(t *testing.T, cfg config.Config, l sc.Litmus, seed uint64, fe
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every litmus run doubles as a timestamp-invariant check: lease
+	// sanity, L2 version monotonicity, and core clock monotonicity are
+	// verified over the live event stream.
+	inv := trace.NewInvariantSink(nil)
+	m.AttachTracer(trace.NewBus(inv))
 	if _, err := m.Run(); err != nil {
+		t.Fatalf("%s seed %d: %v", l.Name, seed, err)
+	}
+	if err := inv.Err(); err != nil {
 		t.Fatalf("%s seed %d: %v", l.Name, seed, err)
 	}
 	return rec.OutcomeFor(placement)

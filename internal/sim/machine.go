@@ -21,6 +21,7 @@ import (
 	"rccsim/internal/noc"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
+	"rccsim/internal/trace"
 	"rccsim/internal/workload"
 )
 
@@ -39,7 +40,9 @@ type Machine struct {
 	sms     []*gpu.SM
 	l1s     []coherence.L1
 	l2s     []coherence.L2
+	drams   []*mem.DRAM
 	backing *mem.Backing
+	tr      *trace.Bus
 	now     timing.Cycle
 	nextID  uint64
 
@@ -74,6 +77,7 @@ func New(cfg config.Config, prog *workload.Program, obs gpu.Observer) (*Machine,
 	for p := range drams {
 		drams[p] = mem.NewDRAM(cfg, m.st)
 	}
+	m.drams = drams
 
 	// L2 partitions.
 	for p := 0; p < cfg.L2Partitions; p++ {
@@ -139,6 +143,37 @@ func (m *Machine) zapL1(coreID int, line uint64) {
 	m.l1s[coreID].(*mesi.L1).Zap(line)
 }
 
+// tracerTarget is implemented by every component that can host the event
+// bus; AttachTracer fans out through it.
+type tracerTarget interface {
+	SetTracer(*trace.Bus)
+}
+
+// AttachTracer threads the event bus through every component of the
+// machine and binds the run's counters to any stats-snapshotting sinks.
+// Call it before Run; a nil bus detaches tracing everywhere.
+func (m *Machine) AttachTracer(tr *trace.Bus) {
+	m.tr = tr
+	m.network.SetTracer(tr)
+	for _, l1 := range m.l1s {
+		if t, ok := l1.(tracerTarget); ok {
+			t.SetTracer(tr)
+		}
+	}
+	for _, l2 := range m.l2s {
+		if t, ok := l2.(tracerTarget); ok {
+			t.SetTracer(tr)
+		}
+	}
+	for _, sm := range m.sms {
+		sm.SetTracer(tr)
+	}
+	for p, d := range m.drams {
+		d.SetTracer(tr, p)
+	}
+	tr.BindStats(m.st)
+}
+
 // Now returns the current cycle.
 func (m *Machine) Now() timing.Cycle { return m.now }
 
@@ -175,6 +210,7 @@ func (m *Machine) Done() bool {
 // whether any component did work.
 func (m *Machine) Step() bool {
 	now := m.now
+	m.tr.CycleReached(now)
 	did := false
 	for _, sm := range m.sms {
 		if sm.Tick(now) {
@@ -257,6 +293,7 @@ func (m *Machine) requestRollover() {
 	}
 	m.roState = roStalling
 	m.roStart = m.now
+	m.tr.Rollover(m.now, trace.RolloverStall, -1, 0)
 	// Ring stall: a flit visits every partition before processing stops
 	// everywhere.
 	m.roReadyAt = m.now + timing.Cycle(4*m.cfg.L2Partitions)
@@ -282,6 +319,7 @@ func (m *Machine) tickRollover(now timing.Cycle) bool {
 		for _, l2 := range m.rccL2s {
 			l2.ResetTimestamps()
 		}
+		m.tr.Rollover(now, trace.RolloverReset, -1, 0)
 		flushRT := 2 * (timing.Cycle(m.cfg.NoCPipeLatency) +
 			timing.Cycle((m.cfg.ControlFlits()+m.cfg.PortFlitsPerCycle-1)/m.cfg.PortFlitsPerCycle))
 		m.roState = roFlushing
@@ -305,6 +343,7 @@ func (m *Machine) tickRollover(now timing.Cycle) bool {
 		}
 		m.st.Rollovers++
 		m.st.RolloverStall += uint64(now - m.roStart)
+		m.tr.Rollover(now, trace.RolloverDone, -1, uint64(now-m.roStart))
 		m.roState = roIdle
 		return true
 	}
@@ -320,11 +359,19 @@ type Result struct {
 
 // RunBenchmark generates and executes benchmark b under cfg.
 func RunBenchmark(cfg config.Config, b workload.Benchmark) (Result, error) {
+	return RunBenchmarkTraced(cfg, b, nil)
+}
+
+// RunBenchmarkTraced is RunBenchmark with an event bus attached for the
+// duration of the run (nil tr is equivalent to RunBenchmark). The caller
+// keeps ownership of the bus and closes it after inspecting the result.
+func RunBenchmarkTraced(cfg config.Config, b workload.Benchmark, tr *trace.Bus) (Result, error) {
 	prog := b.Generate(cfg)
 	m, err := New(cfg, prog, nil)
 	if err != nil {
 		return Result{}, err
 	}
+	m.AttachTracer(tr)
 	st, err := m.Run()
 	if err != nil {
 		return Result{}, fmt.Errorf("%s/%v: %w", b.Name, cfg.Protocol, err)

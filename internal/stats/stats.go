@@ -38,6 +38,15 @@ func (o OpClass) String() string {
 	return fmt.Sprintf("OpClass(%d)", int(o))
 }
 
+// OpClasses lists all operation classes in display order.
+func OpClasses() []OpClass {
+	out := make([]OpClass, numOpClasses)
+	for i := range out {
+		out[i] = OpClass(i)
+	}
+	return out
+}
+
 // MsgClass classifies interconnect messages for the Fig 9c traffic
 // breakdown.
 type MsgClass int

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -86,13 +87,34 @@ func TestZeroDivisionSafety(t *testing.T) {
 	}
 }
 
+// TestClassStrings is the exhaustiveness check: every OpClass and MsgClass
+// value must have a real name (trace sinks and interval metrics embed these
+// strings in output files; an "OpClass(3)" fallback there means someone
+// added a class without naming it).
 func TestClassStrings(t *testing.T) {
 	if OpLoad.String() != "load" || OpStore.String() != "store" || OpAtomic.String() != "atomic" {
 		t.Fatal("op class strings wrong")
 	}
+	if len(OpClasses()) != int(numOpClasses) {
+		t.Fatalf("OpClasses returned %d classes, want %d", len(OpClasses()), numOpClasses)
+	}
 	seen := map[string]bool{}
+	for _, c := range OpClasses() {
+		s := c.String()
+		if strings.HasPrefix(s, "OpClass(") {
+			t.Fatalf("OpClass %d has no name", c)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate op class string %q", s)
+		}
+		seen[s] = true
+	}
+	seen = map[string]bool{}
 	for _, c := range MsgClasses() {
 		s := c.String()
+		if strings.HasPrefix(s, "MsgClass(") {
+			t.Fatalf("MsgClass %d has no name", c)
+		}
 		if seen[s] {
 			t.Fatalf("duplicate class string %q", s)
 		}

@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rccsim/internal/coherence"
+	"rccsim/internal/stats"
+)
+
+// TestKindStrings is the exhaustiveness check: every Kind must have a
+// stable wire name (they appear in golden JSONL files).
+func TestKindStrings(t *testing.T) {
+	if len(Kinds()) != int(numKinds) {
+		t.Fatalf("Kinds returned %d kinds, want %d", len(Kinds()), numKinds)
+	}
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		s := k.String()
+		if strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("Kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestNilBus pins the disabled fast path: every method must be callable
+// on a nil *Bus without panicking or observing anything.
+func TestNilBus(t *testing.T) {
+	var b *Bus
+	if b.Enabled() {
+		t.Fatal("nil bus reports enabled")
+	}
+	m := &coherence.Msg{Type: coherence.GetS}
+	b.MsgSend(1, m, 2)
+	b.MsgRecv(2, m)
+	b.L1State(3, 0, 4, "I->IV")
+	b.L2State(4, 0, 4, "fill", 1, 2)
+	b.Lease(5, LeaseGrant, 0, 4, 1, 2, 1)
+	b.LeaseExpiredAt(6, 0, 4, 1, 2)
+	b.Clock(7, 0, 1, 1)
+	b.Rollover(8, RolloverStall, -1, 0)
+	b.StallBegin(9, 0, 0, stats.OpStore)
+	b.StallEnd(10, 0, stats.OpStore, 1)
+	b.DRAMOp(11, 0, 4, "read-hit")
+	b.CycleReached(12)
+	b.BindStats(stats.New())
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJSONLShape checks each emitted line is valid JSON with the full
+// fixed key set, in the documented order.
+func TestJSONLShape(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	b := NewBus(s)
+	b.Lease(42, LeaseGrant, 1, 7, 10, 20, 3)
+	b.MsgSend(43, &coherence.Msg{Type: coherence.Data, Src: 4, Dst: 0, Warp: 2,
+		Line: 7, Now: 1, Ver: 10, Exp: 20, Val: 99}, 34)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	wantKeys := []string{"cyc", "kind", "label", "src", "dst", "warp", "line", "now", "ver", "exp", "val", "flits"}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSON %q: %v", line, err)
+		}
+		if len(m) != len(wantKeys) {
+			t.Fatalf("line %q has %d keys, want %d", line, len(m), len(wantKeys))
+		}
+		pos := -1
+		for _, k := range wantKeys {
+			i := strings.Index(line, `"`+k+`"`)
+			if i < 0 {
+				t.Fatalf("line %q missing key %q", line, k)
+			}
+			if i < pos {
+				t.Fatalf("line %q has key %q out of order", line, k)
+			}
+			pos = i
+		}
+	}
+	if !strings.Contains(lines[0], `"kind":"lease"`) || !strings.Contains(lines[0], `"label":"grant"`) {
+		t.Fatalf("lease line wrong: %q", lines[0])
+	}
+}
+
+// TestPerfettoValidJSON checks the Chrome trace output parses and keeps
+// B/E stall pairs and metadata.
+func TestPerfettoValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewPerfettoSink(&buf)
+	b := NewBus(s)
+	b.StallBegin(10, 0, 3, stats.OpStore)
+	b.StallEnd(25, 0, stats.OpStore, 15)
+	b.MsgSend(11, &coherence.Msg{Type: coherence.GetS, Src: 0, Dst: 4, Line: 7}, 2)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	var phases []string
+	for _, e := range doc.TraceEvents {
+		phases = append(phases, e["ph"].(string))
+	}
+	got := strings.Join(phases, "")
+	// 6 process_name metadata records, then B/E/i.
+	if want := "MMMMMMBEi"; got != want {
+		t.Fatalf("phase sequence %q, want %q", got, want)
+	}
+}
+
+// TestInvariantSinkBrokenLease checks a deliberately broken lease
+// (ver > exp) is caught, with the offending event in the message.
+func TestInvariantSinkBrokenLease(t *testing.T) {
+	var failed error
+	inv := NewInvariantSink(func(err error) { failed = err })
+	b := NewBus(inv)
+	b.Lease(5, LeaseGrant, 0, 7, 10, 20, 1) // fine
+	b.Lease(9, LeaseGrant, 0, 7, 30, 20, 1) // ver 30 > exp 20: broken
+	err := b.Err()
+	if err == nil {
+		t.Fatal("broken lease not caught")
+	}
+	if failed == nil || failed.Error() != err.Error() {
+		t.Fatalf("onFail not invoked with the violation: %v vs %v", failed, err)
+	}
+	for _, want := range []string{"cycle 9", "ver=30", "exp=20", "trace tail"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("violation message missing %q:\n%s", want, err)
+		}
+	}
+	// The sink is inert after the first failure; Close reports it too.
+	b.Lease(10, LeaseGrant, 0, 7, 40, 20, 1)
+	if cerr := b.Close(); cerr == nil || cerr.Error() != err.Error() {
+		t.Fatalf("Close = %v, want first violation", cerr)
+	}
+}
+
+// TestInvariantSinkVersionRegression checks per-block L2 version
+// monotonicity, and that a rollover reset legally clears it.
+func TestInvariantSinkVersionRegression(t *testing.T) {
+	inv := NewInvariantSink(nil)
+	b := NewBus(inv)
+	b.L2State(1, 0, 7, "write", 10, 20)
+	b.L2State(2, 0, 7, "write", 11, 21)
+	b.L2State(3, 1, 7, "write", 5, 6) // other partition: independent
+	if err := b.Err(); err != nil {
+		t.Fatalf("monotone versions flagged: %v", err)
+	}
+	b.Rollover(4, RolloverReset, -1, 0)
+	b.L2State(5, 0, 7, "fill", 0, 1) // legal after reset
+	if err := b.Err(); err != nil {
+		t.Fatalf("post-rollover version flagged: %v", err)
+	}
+	b.L2State(6, 0, 7, "write", 3, 4)
+	b.L2State(7, 0, 7, "write", 2, 4) // regression
+	if err := b.Err(); err == nil {
+		t.Fatal("version regression not caught")
+	}
+}
+
+// TestInvariantSinkClockRegression checks core logical clocks may never
+// move backwards, except across an L1 rollover flush.
+func TestInvariantSinkClockRegression(t *testing.T) {
+	inv := NewInvariantSink(nil)
+	b := NewBus(inv)
+	b.Clock(1, 0, 10, 10)
+	b.Clock(2, 0, 15, 12)
+	b.Rollover(3, RolloverFlush, 0, 0)
+	b.Clock(4, 0, 0, 0) // legal: core 0 was flushed
+	if err := b.Err(); err != nil {
+		t.Fatalf("legal clock sequence flagged: %v", err)
+	}
+	b.Clock(5, 0, 7, 7)
+	b.Clock(6, 0, 6, 7) // read view regressed
+	if err := b.Err(); err == nil {
+		t.Fatal("clock regression not caught")
+	}
+}
+
+// TestBufferSinkReplay checks buffered events replay in order into a
+// destination sink, reproducing its direct output byte for byte.
+func TestBufferSinkReplay(t *testing.T) {
+	emit := func(s Sink) {
+		b := NewBus(s)
+		b.Lease(1, LeaseGrant, 0, 7, 1, 5, 0)
+		b.Clock(2, 0, 3, 3)
+		b.DRAMOp(3, 0, 7, "read-miss")
+	}
+	var direct bytes.Buffer
+	ds := NewJSONLSink(&direct)
+	emit(ds)
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := &BufferSink{}
+	emit(buf)
+	var replayed bytes.Buffer
+	dst := NewJSONLSink(&replayed)
+	buf.Replay(dst)
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != replayed.String() {
+		t.Fatalf("replay differs:\ndirect:\n%s\nreplayed:\n%s", direct.String(), replayed.String())
+	}
+}
+
+// TestIntervalSink drives the cycle hook directly and checks boundary
+// snapshots, fast-forward collapsing, and the final partial row.
+func TestIntervalSink(t *testing.T) {
+	st := stats.New()
+	buf := &BufferSink{}
+	iv := NewIntervalSink(buf, 100)
+	b := NewBus(iv, buf)
+	b.BindStats(st)
+
+	st.Instructions = 10
+	b.CycleReached(50) // below first boundary: nothing
+	if len(buf.Events) != 0 {
+		t.Fatalf("premature snapshot: %v", buf.Events)
+	}
+	b.CycleReached(100)
+	if len(buf.Events) != 1 || buf.Events[0].Label != "instructions" || buf.Events[0].Val != 10 {
+		t.Fatalf("first snapshot wrong: %+v", buf.Events)
+	}
+	st.Instructions = 25
+	b.CycleReached(350) // fast-forward across two boundaries: one row at 300
+	if len(buf.Events) != 2 || buf.Events[1].Cycle != 300 || buf.Events[1].Val != 15 {
+		t.Fatalf("fast-forward snapshot wrong: %+v", buf.Events)
+	}
+	st.Instructions = 30
+	st.Cycles = 410 // run loop sets this before Close
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	last := buf.Events[len(buf.Events)-1]
+	if last.Cycle != 410 || last.Val != 5 {
+		t.Fatalf("final partial row wrong: %+v", last)
+	}
+}

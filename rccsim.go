@@ -25,6 +25,7 @@ package rccsim
 
 import (
 	"fmt"
+	"io"
 
 	"rccsim/internal/config"
 	"rccsim/internal/energy"
@@ -32,6 +33,7 @@ import (
 	"rccsim/internal/gpu"
 	"rccsim/internal/sim"
 	"rccsim/internal/stats"
+	"rccsim/internal/trace"
 	"rccsim/internal/workload"
 )
 
@@ -102,14 +104,58 @@ func Benchmarks() []Benchmark { return workload.All() }
 // CL, DLB, STN, VPR, HSP, KMN, LPS, NDL, SR, LUD).
 func BenchmarkByName(name string) (Benchmark, bool) { return workload.ByName(name) }
 
+// TraceBus is the cycle-stamped structured event bus threaded through
+// every machine component: message sends/deliveries with their logical
+// timestamps, L1/L2 transitions, lease lifecycle, clock advances,
+// rollover phases, SC stall intervals, DRAM commands. A nil *TraceBus
+// disables tracing at zero cost; see internal/trace for the event
+// vocabulary and determinism contract.
+type TraceBus = trace.Bus
+
+// TraceEvent is one cycle-stamped observation on a TraceBus.
+type TraceEvent = trace.Event
+
+// TraceSink consumes trace events (JSONL, Perfetto, invariant checking,
+// in-memory buffering, interval metrics).
+type TraceSink = trace.Sink
+
+// NewTraceBus builds an event bus over the given sinks.
+func NewTraceBus(sinks ...TraceSink) *TraceBus { return trace.NewBus(sinks...) }
+
+// NewJSONLTraceSink writes one fixed-field-order JSON object per event.
+func NewJSONLTraceSink(w io.Writer) TraceSink { return trace.NewJSONLSink(w) }
+
+// NewPerfettoTraceSink writes Chrome trace-event JSON loadable in
+// ui.perfetto.dev; the timeline axis is the simulated cycle.
+func NewPerfettoTraceSink(w io.Writer) TraceSink { return trace.NewPerfettoSink(w) }
+
+// NewInvariantTraceSink checks the RCC/Tardis timestamp invariants over
+// the event stream (ver <= exp on every lease, monotone L2 versions and
+// core clocks); the first violation is reported via onFail (may be nil)
+// and by the bus's Close/Err.
+func NewInvariantTraceSink(onFail func(error)) TraceSink { return trace.NewInvariantSink(onFail) }
+
+// NewIntervalTraceSink snapshots stats deltas into dst every interval
+// cycles as metrics events. Register it on the bus before dst.
+func NewIntervalTraceSink(dst TraceSink, interval uint64) TraceSink {
+	return trace.NewIntervalSink(dst, interval)
+}
+
 // Run generates benchmark name under cfg, simulates it to completion, and
 // returns the statistics and interconnect energy.
 func Run(cfg Config, name string) (Result, error) {
+	return RunTraced(cfg, name, nil)
+}
+
+// RunTraced is Run with an event bus attached for the duration of the
+// simulation (nil tr is equivalent to Run). The caller keeps ownership
+// of the bus and closes it after the run.
+func RunTraced(cfg Config, name string, tr *TraceBus) (Result, error) {
 	b, ok := workload.ByName(name)
 	if !ok {
 		return Result{}, fmt.Errorf("rccsim: unknown benchmark %q", name)
 	}
-	return sim.RunBenchmark(cfg, b)
+	return sim.RunBenchmarkTraced(cfg, b, tr)
 }
 
 // RunProgram simulates an arbitrary user-supplied program. obs may be nil.
