@@ -36,9 +36,9 @@ type rig struct {
 
 func (r *rig) Send(m *coherence.Msg, now timing.Cycle) {
 	if m.Dst < r.cfg.NumSMs {
-		r.l1s[m.Dst].Deliver(m)
+		r.l1s[m.Dst].Deliver(m, now)
 	} else {
-		r.l2.Deliver(m)
+		r.l2.Deliver(m, now)
 	}
 }
 

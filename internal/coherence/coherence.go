@@ -132,6 +132,40 @@ type Msg struct {
 	Atomic bool   // distinguishes atomic acks/data from plain ones
 }
 
+// MsgPool is a free list of Msg objects shared by every controller of one
+// machine. A machine is single-goroutine internally, so the pool needs no
+// synchronization. Ownership rule: whoever consumes a message terminally
+// (the handler that neither retains nor forwards it) returns it with Put;
+// a recycled Msg is handed out dirty, so Get callers must overwrite the
+// whole struct. All methods are nil-receiver safe — a nil pool degrades to
+// plain allocation, which standalone controllers (tests, walkthroughs)
+// rely on.
+type MsgPool struct {
+	free []*Msg
+}
+
+// Get returns a Msg with unspecified contents; assign a full struct
+// literal before use.
+func (p *MsgPool) Get() *Msg {
+	if p == nil || len(p.free) == 0 {
+		return new(Msg)
+	}
+	n := len(p.free) - 1
+	m := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	return m
+}
+
+// Put recycles a message the caller owns. The caller must not touch m
+// afterwards.
+func (p *MsgPool) Put(m *Msg) {
+	if p == nil || m == nil {
+		return
+	}
+	p.free = append(p.free, m)
+}
+
 // Request is one warp-level, line-granularity memory access from an SM to
 // its L1 controller. A warp memory instruction may fan out into several
 // Requests (memory divergence); the SM counts them back in.
@@ -142,6 +176,11 @@ type Request struct {
 	Warp  int
 	Val   uint64 // store value / atomic operand
 	Issue timing.Cycle
+
+	// Slot is an issuer-private token echoed back at completion (the SM
+	// uses it to find the warp-instruction tracker without a map lookup).
+	// Controllers must preserve it and never interpret it.
+	Slot int32
 
 	// Result, filled in before MemDone.
 	Data uint64
@@ -163,8 +202,11 @@ type L1 interface {
 	// Access submits a request. It returns false if the controller
 	// cannot accept it this cycle (MSHR full); the SM retries.
 	Access(r *Request, now timing.Cycle) bool
-	// Deliver hands the controller a message from the interconnect.
-	Deliver(m *Msg)
+	// Deliver hands the controller a message from the interconnect. at is
+	// the cycle the interconnect last ticked (== the current cycle when the
+	// controller has not ticked yet this cycle); controllers use it to
+	// timestamp pipeline entry without keeping their own last-tick state.
+	Deliver(m *Msg, at timing.Cycle)
 	// Tick processes queued work; reports whether anything happened.
 	Tick(now timing.Cycle) bool
 	// NextEvent returns the earliest future cycle at which Tick could do
@@ -185,10 +227,18 @@ type L1 interface {
 
 // L2 is one shared-cache partition controller.
 type L2 interface {
-	Deliver(m *Msg)
+	Deliver(m *Msg, at timing.Cycle)
 	Tick(now timing.Cycle) bool
 	NextEvent(now timing.Cycle) timing.Cycle
 	Drained() bool
+}
+
+// Waker is an optional interface for Sinks: an L1 controller that finds it
+// has freed resources the SM may be waiting on (an MSHR slot, a thaw after
+// a rollover freeze) calls Wake so the SM re-scans on the next visited
+// cycle instead of polling every cycle.
+type Waker interface {
+	Wake()
 }
 
 // Flits returns the flit size of message m under cfg.

@@ -33,6 +33,12 @@ type l1MSHR struct {
 
 func (m *l1MSHR) empty() bool { return len(m.loads) == 0 && len(m.stores) == 0 }
 
+// resetL1MSHR restores a recycled entry, keeping slice capacity.
+func resetL1MSHR(m *l1MSHR) {
+	loads, stores := m.loads[:0], m.stores[:0]
+	*m = l1MSHR{loads: loads, stores: stores}
+}
+
 // L1 is the MESI private-cache controller. Valid lines are in S state;
 // stores self-invalidate the local copy and write through.
 type L1 struct {
@@ -43,9 +49,16 @@ type L1 struct {
 	st   *stats.Run
 	tr   *trace.Bus
 
-	tags  *mem.Array[l1Line]
-	mshrs *mem.MSHRs[l1MSHR]
-	inbox []*coherence.Msg
+	tags   *mem.Array[l1Line]
+	mshrs  *mem.MSHRs[l1MSHR]
+	inbox  []*coherence.Msg
+	inHead int // next inbox element to drain (the slice is reused, not re-sliced)
+	pool   *coherence.MsgPool
+
+	// wake, when non-nil, notifies the SM that this Tick may have freed
+	// resources it is polling for (an MSHR slot); set from SetSink when the
+	// sink implements coherence.Waker.
+	wake func()
 }
 
 // NewL1 builds the controller.
@@ -59,12 +72,16 @@ func NewL1(cfg config.Config, id int, port coherence.Port, sink coherence.Sink, 
 		tags: mem.NewArray[l1Line](cfg.L1Sets, cfg.L1Ways, func(l uint64) int {
 			return coherence.L1SetIndex(l, cfg.L1Sets)
 		}),
-		mshrs: mem.NewMSHRs[l1MSHR](cfg.L1MSHRs),
+		mshrs: mem.NewMSHRs(cfg.L1MSHRs, resetL1MSHR),
 	}
 }
 
 // SetTracer attaches the event bus (nil disables tracing).
 func (c *L1) SetTracer(tr *trace.Bus) { c.tr = tr }
+
+// SetMsgPool attaches the machine's message free list (nil keeps plain
+// allocation).
+func (c *L1) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
 
 func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
@@ -108,12 +125,14 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 	m.loads = append(m.loads, r)
 	if !m.getsOut {
 		m.getsOut = true
-		c.port.Send(&coherence.Msg{
+		msg := c.pool.Get()
+		*msg = coherence.Msg{
 			Type: coherence.GetS,
 			Line: r.Line,
 			Src:  c.id,
 			Dst:  c.l2node(r.Line),
-		}, now)
+		}
+		c.port.Send(msg, now)
 	}
 	return true
 }
@@ -141,7 +160,8 @@ func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
 		typ = coherence.AtomicReq
 		atomic = true
 	}
-	c.port.Send(&coherence.Msg{
+	msg := c.pool.Get()
+	*msg = coherence.Msg{
 		Type:   typ,
 		Line:   r.Line,
 		Src:    c.id,
@@ -150,21 +170,30 @@ func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
 		Warp:   r.Warp,
 		Val:    r.Val,
 		Atomic: atomic,
-	}, now)
+	}
+	c.port.Send(msg, now)
 	return true
 }
 
-// Deliver implements coherence.L1.
-func (c *L1) Deliver(m *coherence.Msg) { c.inbox = append(c.inbox, m) }
+// Deliver implements coherence.L1. The delivery timestamp is unused: the
+// inbox is drained in full on the next Tick.
+func (c *L1) Deliver(m *coherence.Msg, at timing.Cycle) { c.inbox = append(c.inbox, m) }
 
 // Tick implements coherence.L1.
 func (c *L1) Tick(now timing.Cycle) bool {
 	did := false
-	for len(c.inbox) > 0 {
-		m := c.inbox[0]
-		c.inbox = c.inbox[1:]
+	for c.inHead < len(c.inbox) {
+		m := c.inbox[c.inHead]
+		c.inbox[c.inHead] = nil
+		c.inHead++
 		c.handle(m, now)
+		c.pool.Put(m)
 		did = true
+	}
+	c.inbox = c.inbox[:0]
+	c.inHead = 0
+	if did && c.wake != nil {
+		c.wake()
 	}
 	return did
 }
@@ -187,12 +216,14 @@ func (c *L1) handle(m *coherence.Msg, now timing.Cycle) {
 			c.tags.Invalidate(e)
 			c.tr.L1State(now, c.id, m.Line, "S->I_inv")
 		}
-		c.port.Send(&coherence.Msg{
+		ack := c.pool.Get()
+		*ack = coherence.Msg{
 			Type: coherence.InvAck,
 			Line: m.Line,
 			Src:  c.id,
 			Dst:  m.Src,
-		}, now)
+		}
+		c.port.Send(ack, now)
 	default:
 		panic("mesi l1: unexpected message " + m.Type.String())
 	}
@@ -208,12 +239,14 @@ func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
 			// MESI directories must learn about evictions (PutS); the
 			// resulting control traffic is a significant cost of
 			// directory coherence on thrash-prone GPU L1s.
-			c.port.Send(&coherence.Msg{
+			puts := c.pool.Get()
+			*puts = coherence.Msg{
 				Type: coherence.PutS,
 				Line: victim.Tag,
 				Src:  c.id,
 				Dst:  c.l2node(victim.Tag),
-			}, now)
+			}
+			c.port.Send(puts, now)
 		}
 		e.Meta.Val = m.Val
 	}
@@ -252,7 +285,7 @@ func (c *L1) finishStore(m *coherence.Msg, data uint64, now timing.Cycle) {
 
 // NextEvent implements coherence.L1.
 func (c *L1) NextEvent(now timing.Cycle) timing.Cycle {
-	if len(c.inbox) > 0 {
+	if c.inHead < len(c.inbox) {
 		return now
 	}
 	return timing.Never
@@ -265,7 +298,7 @@ func (c *L1) FenceReadyAt(warp int, now timing.Cycle) timing.Cycle { return now 
 func (c *L1) FenceComplete(warp int, now timing.Cycle) {}
 
 // Drained implements coherence.L1.
-func (c *L1) Drained() bool { return len(c.inbox) == 0 && c.mshrs.Len() == 0 }
+func (c *L1) Drained() bool { return c.inHead >= len(c.inbox) && c.mshrs.Len() == 0 }
 
 // l2Line is the per-block directory state: value, dirty bit, and the
 // sharer bitmap (full map; up to 64 SMs).
@@ -280,6 +313,12 @@ type l2MSHR struct {
 	stalled  []*coherence.Msg // atomics wait for the fill (need the old value)
 	writeVal uint64
 	hasWrite bool
+}
+
+// resetL2MSHR restores a recycled entry, keeping slice capacity.
+func resetL2MSHR(m *l2MSHR) {
+	readers, stalled := m.readers[:0], m.stalled[:0]
+	*m = l2MSHR{readers: readers, stalled: stalled}
 }
 
 // invWait tracks an invalidation round: either a store waiting for
@@ -311,8 +350,7 @@ type L2 struct {
 	invs      map[uint64]*invWait
 	zap       func(core int, line uint64) // SC-IDEAL instant invalidation
 	fillRetry timing.Queue[uint64]
-
-	lastTick timing.Cycle
+	pool      *coherence.MsgPool
 }
 
 // NewL2 builds partition part. For SC-IDEAL (ideal=true), zap must
@@ -328,7 +366,7 @@ func NewL2(cfg config.Config, part int, ideal bool, port coherence.Port, st *sta
 		tags: mem.NewArray[l2Line](cfg.L2SetsPerPart, cfg.L2Ways, func(l uint64) int {
 			return coherence.L2SetIndex(l, cfg.L2Partitions, cfg.L2SetsPerPart)
 		}),
-		mshrs:   mem.NewMSHRs[l2MSHR](cfg.L2MSHRs),
+		mshrs:   mem.NewMSHRs(cfg.L2MSHRs, resetL2MSHR),
 		dram:    dram,
 		backing: backing,
 		invs:    make(map[uint64]*invWait),
@@ -339,21 +377,24 @@ func NewL2(cfg config.Config, part int, ideal bool, port coherence.Port, st *sta
 // SetTracer attaches the event bus (nil disables tracing).
 func (c *L2) SetTracer(tr *trace.Bus) { c.tr = tr }
 
+// SetMsgPool attaches the machine's message free list (nil keeps plain
+// allocation).
+func (c *L2) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
+
 // Deliver implements coherence.L2. Directory-maintenance messages (PutS,
 // InvAck) travel on their own virtual network and are serviced by the
 // directory's state-update port, separate from the demand pipeline.
-func (c *L2) Deliver(m *coherence.Msg) {
-	at := c.lastTick + timing.Cycle(c.cfg.L2Latency)
+func (c *L2) Deliver(m *coherence.Msg, at timing.Cycle) {
+	ready := at + timing.Cycle(c.cfg.L2Latency)
 	if m.Type == coherence.PutS || m.Type == coherence.InvAck {
-		c.mpipe.Push(at, m)
+		c.mpipe.Push(ready, m)
 		return
 	}
-	c.pipe.Push(at, m)
+	c.pipe.Push(ready, m)
 }
 
 // Tick implements coherence.L2.
 func (c *L2) Tick(now timing.Cycle) bool {
-	c.lastTick = now
 	did := false
 	if c.dram.Tick(now) {
 		did = true
@@ -402,7 +443,8 @@ func (c *L2) Tick(now timing.Cycle) bool {
 
 func (c *L2) handle(m *coherence.Msg, now timing.Cycle) bool {
 	if m.Type == coherence.InvAck {
-		c.ack(m)
+		c.ack(m, now)
+		c.pool.Put(m)
 		return true
 	}
 	if m.Type == coherence.PutS {
@@ -410,12 +452,15 @@ func (c *L2) handle(m *coherence.Msg, now timing.Cycle) bool {
 		if e := c.tags.Lookup(m.Line); e != nil {
 			e.Meta.Sharers &^= 1 << uint(m.Src)
 		}
-		c.port.Send(&coherence.Msg{
+		wback := c.pool.Get()
+		*wback = coherence.Msg{
 			Type: coherence.WBAck,
 			Line: m.Line,
 			Src:  c.nodeID,
 			Dst:  m.Src,
-		}, now)
+		}
+		c.port.Send(wback, now)
+		c.pool.Put(m)
 		return true
 	}
 	if w, ok := c.invs[m.Line]; ok {
@@ -440,13 +485,16 @@ func (c *L2) handle(m *coherence.Msg, now timing.Cycle) bool {
 func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 	e.Meta.Sharers |= 1 << uint(m.Src)
 	c.tags.Touch(e)
-	c.port.Send(&coherence.Msg{
+	resp := c.pool.Get()
+	*resp = coherence.Msg{
 		Type: coherence.Data,
 		Line: m.Line,
 		Src:  c.nodeID,
 		Dst:  m.Src,
 		Val:  e.Meta.Val,
-	}, now)
+	}
+	c.port.Send(resp, now)
+	c.pool.Put(m)
 }
 
 func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
@@ -462,6 +510,7 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 		}
 		e.Meta.Sharers = 0
 		c.performWrite(m, &e.Meta, now)
+		c.pool.Put(m)
 		c.tags.Touch(e)
 		return
 	}
@@ -472,12 +521,14 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 	for core := 0; core < c.cfg.NumSMs; core++ {
 		if sharers&(1<<uint(core)) != 0 {
 			w.pending++
-			c.port.Send(&coherence.Msg{
+			inv := c.pool.Get()
+			*inv = coherence.Msg{
 				Type: coherence.Inv,
 				Line: m.Line,
 				Src:  c.nodeID,
 				Dst:  core,
-			}, now)
+			}
+			c.port.Send(inv, now)
 		}
 	}
 	e.Meta.Sharers = 0
@@ -493,7 +544,8 @@ func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
 		c.tr.L2State(now, c.part, m.Line, "write", 0, 0)
 	}
 	l.Dirty = true
-	resp := &coherence.Msg{
+	resp := c.pool.Get()
+	*resp = coherence.Msg{
 		Type:  coherence.Ack,
 		Line:  m.Line,
 		Src:   c.nodeID,
@@ -510,7 +562,7 @@ func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
 }
 
 // ack processes one INVACK.
-func (c *L2) ack(m *coherence.Msg) {
+func (c *L2) ack(m *coherence.Msg, now timing.Cycle) {
 	w, ok := c.invs[m.Line]
 	if !ok {
 		return
@@ -520,11 +572,11 @@ func (c *L2) ack(m *coherence.Msg) {
 		return
 	}
 	delete(c.invs, m.Line)
-	now := c.lastTick
 	if w.write != nil {
 		if e := c.tags.Lookup(m.Line); e != nil {
 			c.st.L2Accesses++
 			c.performWrite(w.write, &e.Meta, now)
+			c.pool.Put(w.write)
 			c.tags.Touch(e)
 		} else if !c.handle(w.write, now) {
 			c.deferred = append(c.deferred, w.write)
@@ -561,14 +613,17 @@ func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
 		// moment it is ordered here: merge it and ack immediately.
 		mshr.writeVal = m.Val
 		mshr.hasWrite = true
-		c.port.Send(&coherence.Msg{
+		ack := c.pool.Get()
+		*ack = coherence.Msg{
 			Type:  coherence.Ack,
 			Line:  m.Line,
 			Src:   c.nodeID,
 			Dst:   m.Src,
 			ReqID: m.ReqID,
 			Warp:  m.Warp,
-		}, now)
+		}
+		c.port.Send(ack, now)
+		c.pool.Put(m)
 	default:
 		mshr.stalled = append(mshr.stalled, m) // atomics need the old value
 	}
@@ -619,14 +674,18 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 	}
 	for _, r := range mshr.readers {
 		l.Sharers |= 1 << uint(r.Src)
-		c.port.Send(&coherence.Msg{
+		resp := c.pool.Get()
+		*resp = coherence.Msg{
 			Type: coherence.Data,
 			Line: line,
 			Src:  c.nodeID,
 			Dst:  r.Src,
 			Val:  l.Val,
-		}, now)
+		}
+		c.port.Send(resp, now)
+		c.pool.Put(r)
 	}
+	mshr.readers = mshr.readers[:0]
 	stalled := mshr.stalled
 	c.mshrs.Free(line)
 	for _, s := range stalled {
@@ -654,12 +713,14 @@ func (c *L2) recall(line, sharers uint64, now timing.Cycle) {
 	for core := 0; core < c.cfg.NumSMs; core++ {
 		if sharers&(1<<uint(core)) != 0 {
 			w.pending++
-			c.port.Send(&coherence.Msg{
+			inv := c.pool.Get()
+			*inv = coherence.Msg{
 				Type: coherence.Inv,
 				Line: line,
 				Src:  c.nodeID,
 				Dst:  core,
-			}, now)
+			}
+			c.port.Send(inv, now)
 		}
 	}
 }
@@ -684,4 +745,11 @@ func (c *L2) Drained() bool {
 
 // SetSink wires the completion path to the SM (set once at machine build;
 // the SM and L1 reference each other).
-func (c *L1) SetSink(s coherence.Sink) { c.sink = s }
+func (c *L1) SetSink(s coherence.Sink) {
+	c.sink = s
+	if w, ok := s.(coherence.Waker); ok {
+		c.wake = w.Wake
+	} else {
+		c.wake = nil
+	}
+}

@@ -32,10 +32,12 @@ func (h *harness) Send(m *coherence.Msg, now timing.Cycle) {
 }
 
 func (h *harness) route(m *coherence.Msg) {
+	// Routing happens before this cycle's L2 tick, so the delivery
+	// timestamp the L2 would have tracked is the previous cycle.
 	if m.Dst < h.cfg.NumSMs {
-		h.l1s[m.Dst].Deliver(m)
+		h.l1s[m.Dst].Deliver(m, h.now-1)
 	} else {
-		h.l2.Deliver(m)
+		h.l2.Deliver(m, h.now-1)
 	}
 }
 

@@ -33,6 +33,12 @@ type l1MSHR struct {
 	stores  []*coherence.Request
 }
 
+// resetL1MSHR restores a recycled entry, keeping slice capacity.
+func resetL1MSHR(m *l1MSHR) {
+	loads, stores := m.loads[:0], m.stores[:0]
+	*m = l1MSHR{loads: loads, stores: stores}
+}
+
 // L1 is the TC private-cache controller (write-through, write-no-allocate).
 type L1 struct {
 	cfg  config.Config
@@ -43,12 +49,19 @@ type L1 struct {
 	st   *stats.Run
 	tr   *trace.Bus
 
-	tags  *mem.Array[l1Line]
-	mshrs *mem.MSHRs[l1MSHR]
-	inbox []*coherence.Msg
+	tags   *mem.Array[l1Line]
+	mshrs  *mem.MSHRs[l1MSHR]
+	inbox  []*coherence.Msg
+	inHead int // next inbox element to drain (the slice is reused, not re-sliced)
+	pool   *coherence.MsgPool
 
 	// TCW: per-warp maximum GWCT, consulted by fences.
 	gwct []timing.Cycle
+
+	// wake, when non-nil, notifies the SM that this Tick may have freed
+	// resources it is polling for (an MSHR slot); set from SetSink when the
+	// sink implements coherence.Waker.
+	wake func()
 }
 
 // NewL1 builds the controller; weak selects TC-Weak semantics.
@@ -63,13 +76,17 @@ func NewL1(cfg config.Config, id int, weak bool, port coherence.Port, sink coher
 		tags: mem.NewArray[l1Line](cfg.L1Sets, cfg.L1Ways, func(l uint64) int {
 			return coherence.L1SetIndex(l, cfg.L1Sets)
 		}),
-		mshrs: mem.NewMSHRs[l1MSHR](cfg.L1MSHRs),
+		mshrs: mem.NewMSHRs(cfg.L1MSHRs, resetL1MSHR),
 		gwct:  make([]timing.Cycle, cfg.WarpsPerSM),
 	}
 }
 
 // SetTracer attaches the event bus (nil disables tracing).
 func (c *L1) SetTracer(tr *trace.Bus) { c.tr = tr }
+
+// SetMsgPool attaches the machine's message free list (nil keeps plain
+// allocation).
+func (c *L1) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
 
 func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
@@ -141,13 +158,15 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 }
 
 func (c *L1) sendGets(line uint64, now timing.Cycle) {
-	c.port.Send(&coherence.Msg{
+	msg := c.pool.Get()
+	*msg = coherence.Msg{
 		Type: coherence.GetS,
 		Line: line,
 		Src:  c.id,
 		Dst:  c.l2node(line),
 		Now:  uint64(now),
-	}, now)
+	}
+	c.port.Send(msg, now)
 }
 
 func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
@@ -168,7 +187,8 @@ func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
 		typ = coherence.AtomicReq
 		atomic = true
 	}
-	c.port.Send(&coherence.Msg{
+	msg := c.pool.Get()
+	*msg = coherence.Msg{
 		Type:   typ,
 		Line:   r.Line,
 		Src:    c.id,
@@ -178,21 +198,30 @@ func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
 		Now:    uint64(now),
 		Val:    r.Val,
 		Atomic: atomic,
-	}, now)
+	}
+	c.port.Send(msg, now)
 	return true
 }
 
-// Deliver implements coherence.L1.
-func (c *L1) Deliver(m *coherence.Msg) { c.inbox = append(c.inbox, m) }
+// Deliver implements coherence.L1. The delivery timestamp is unused: the
+// inbox is drained in full on the next Tick.
+func (c *L1) Deliver(m *coherence.Msg, at timing.Cycle) { c.inbox = append(c.inbox, m) }
 
 // Tick implements coherence.L1.
 func (c *L1) Tick(now timing.Cycle) bool {
 	did := false
-	for len(c.inbox) > 0 {
-		m := c.inbox[0]
-		c.inbox = c.inbox[1:]
+	for c.inHead < len(c.inbox) {
+		m := c.inbox[c.inHead]
+		c.inbox[c.inHead] = nil
+		c.inHead++
 		c.handle(m, now)
+		c.pool.Put(m)
 		did = true
+	}
+	c.inbox = c.inbox[:0]
+	c.inHead = 0
+	if did && c.wake != nil {
+		c.wake()
 	}
 	return did
 }
@@ -272,7 +301,7 @@ func (m *l1MSHR) empty() bool { return len(m.loads) == 0 && len(m.stores) == 0 }
 
 // NextEvent implements coherence.L1.
 func (c *L1) NextEvent(now timing.Cycle) timing.Cycle {
-	if len(c.inbox) > 0 {
+	if c.inHead < len(c.inbox) {
 		return now
 	}
 	return timing.Never
@@ -295,7 +324,7 @@ func (c *L1) FenceComplete(warp int, now timing.Cycle) {
 }
 
 // Drained implements coherence.L1.
-func (c *L1) Drained() bool { return len(c.inbox) == 0 && c.mshrs.Len() == 0 }
+func (c *L1) Drained() bool { return c.inHead >= len(c.inbox) && c.mshrs.Len() == 0 }
 
 // l2Line is the per-block L2 metadata: the latest granted lease end (the
 // "global timestamp"), the value, and the dirty bit.
@@ -311,6 +340,12 @@ type l2MSHR struct {
 	writeVal uint64
 	hasWrite bool
 	stalled  []*coherence.Msg // atomics deferred to fill completion
+}
+
+// resetL2MSHR restores a recycled entry, keeping slice capacity.
+func resetL2MSHR(m *l2MSHR) {
+	readers, stalled := m.readers[:0], m.stalled[:0]
+	*m = l2MSHR{readers: readers, stalled: stalled}
 }
 
 // L2 is one TC shared-cache partition.
@@ -337,7 +372,7 @@ type L2 struct {
 	stallQ  timing.Queue[*coherence.Msg]
 	blocked map[uint64][]*coherence.Msg
 
-	lastTick timing.Cycle
+	pool *coherence.MsgPool
 }
 
 // NewL2 builds partition part; weak selects TC-Weak.
@@ -352,7 +387,7 @@ func NewL2(cfg config.Config, part int, weak bool, port coherence.Port, st *stat
 		tags: mem.NewArray[l2Line](cfg.L2SetsPerPart, cfg.L2Ways, func(l uint64) int {
 			return coherence.L2SetIndex(l, cfg.L2Partitions, cfg.L2SetsPerPart)
 		}),
-		mshrs:   mem.NewMSHRs[l2MSHR](cfg.L2MSHRs),
+		mshrs:   mem.NewMSHRs(cfg.L2MSHRs, resetL2MSHR),
 		dram:    dram,
 		backing: backing,
 		blocked: make(map[uint64][]*coherence.Msg),
@@ -362,14 +397,18 @@ func NewL2(cfg config.Config, part int, weak bool, port coherence.Port, st *stat
 // SetTracer attaches the event bus (nil disables tracing).
 func (c *L2) SetTracer(tr *trace.Bus) { c.tr = tr }
 
-// Deliver implements coherence.L2.
-func (c *L2) Deliver(m *coherence.Msg) {
-	c.pipe.Push(c.lastTick+timing.Cycle(c.cfg.L2Latency), m)
+// SetMsgPool attaches the machine's message free list (nil keeps plain
+// allocation).
+func (c *L2) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
+
+// Deliver implements coherence.L2: requests enter the access pipeline at
+// the delivery timestamp supplied by the interconnect.
+func (c *L2) Deliver(m *coherence.Msg, at timing.Cycle) {
+	c.pipe.Push(at+timing.Cycle(c.cfg.L2Latency), m)
 }
 
 // Tick implements coherence.L2.
 func (c *L2) Tick(now timing.Cycle) bool {
-	c.lastTick = now
 	did := false
 
 	if c.dram.Tick(now) {
@@ -445,14 +484,17 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 		c.st.ExpiredGets++ // tracked for Fig 6 comparability
 	}
 	c.tr.Lease(now, trace.LeaseGrant, c.part, m.Line, uint64(now), uint64(lease), m.Src)
-	c.port.Send(&coherence.Msg{
+	resp := c.pool.Get()
+	*resp = coherence.Msg{
 		Type: coherence.Data,
 		Line: m.Line,
 		Src:  c.nodeID,
 		Dst:  m.Src,
 		Exp:  uint64(lease),
 		Val:  l.Val,
-	}, now)
+	}
+	c.port.Send(resp, now)
+	c.pool.Put(m)
 }
 
 // writeHit performs or stalls a store/atomic on a resident block. TCS
@@ -469,6 +511,7 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 		return
 	}
 	c.performWrite(m, l, now)
+	c.pool.Put(m)
 	c.tags.Touch(e)
 }
 
@@ -486,7 +529,8 @@ func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
 	if uint64(l.GTS) > gwct {
 		gwct = uint64(l.GTS)
 	}
-	resp := &coherence.Msg{
+	resp := c.pool.Get()
+	*resp = coherence.Msg{
 		Type:  coherence.Ack,
 		Line:  m.Line,
 		Src:   c.nodeID,
@@ -518,6 +562,7 @@ func (c *L2) wakeStalledStore(m *coherence.Msg, now timing.Cycle) {
 	} else {
 		c.st.L2Accesses++
 		c.performWrite(m, &e.Meta, now)
+		c.pool.Put(m)
 		c.tags.Touch(e)
 	}
 	for _, q := range queued {
@@ -548,7 +593,8 @@ func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
 		// globally visible once ordered here; ack immediately.
 		mshr.writeVal = m.Val
 		mshr.hasWrite = true
-		c.port.Send(&coherence.Msg{
+		ack := c.pool.Get()
+		*ack = coherence.Msg{
 			Type:  coherence.Ack,
 			Line:  m.Line,
 			Src:   c.nodeID,
@@ -556,7 +602,9 @@ func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
 			ReqID: m.ReqID,
 			Warp:  m.Warp,
 			Exp:   uint64(now),
-		}, now)
+		}
+		c.port.Send(ack, now)
+		c.pool.Put(m)
 	case coherence.AtomicReq:
 		mshr.stalled = append(mshr.stalled, m)
 	}
@@ -601,15 +649,19 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 		l.GTS = lease
 		for _, r := range mshr.readers {
 			c.tr.Lease(now, trace.LeaseGrant, c.part, line, uint64(now), uint64(lease), r.Src)
-			c.port.Send(&coherence.Msg{
+			resp := c.pool.Get()
+			*resp = coherence.Msg{
 				Type: coherence.Data,
 				Line: line,
 				Src:  c.nodeID,
 				Dst:  r.Src,
 				Exp:  uint64(lease),
 				Val:  l.Val,
-			}, now)
+			}
+			c.port.Send(resp, now)
+			c.pool.Put(r)
 		}
+		mshr.readers = mshr.readers[:0]
 	}
 	stalled := mshr.stalled
 	c.mshrs.Free(line)
@@ -638,4 +690,11 @@ func (c *L2) Drained() bool {
 
 // SetSink wires the completion path to the SM (set once at machine build;
 // the SM and L1 reference each other).
-func (c *L1) SetSink(s coherence.Sink) { c.sink = s }
+func (c *L1) SetSink(s coherence.Sink) {
+	c.sink = s
+	if w, ok := s.(coherence.Waker); ok {
+		c.wake = w.Wake
+	} else {
+		c.wake = nil
+	}
+}

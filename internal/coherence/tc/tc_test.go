@@ -26,9 +26,9 @@ type harness struct {
 func (h *harness) Send(m *coherence.Msg, now timing.Cycle) {
 	h.st.Traffic(m.Type.Class(), coherence.Flits(h.cfg, m))
 	if m.Dst < h.cfg.NumSMs {
-		h.l1s[m.Dst].Deliver(m)
+		h.l1s[m.Dst].Deliver(m, now)
 	} else {
-		h.l2.Deliver(m)
+		h.l2.Deliver(m, now)
 	}
 }
 

@@ -49,7 +49,7 @@ func (r *l2rig) tick(n int) {
 
 // deliver injects a message and pumps past the pipeline latency.
 func (r *l2rig) deliver(m *coherence.Msg) {
-	r.l2.Deliver(m)
+	r.l2.Deliver(m, r.now)
 	r.tick(int(r.cfg.L2Latency) + 3)
 }
 
@@ -186,8 +186,8 @@ func TestFig5L2IWrite(t *testing.T) {
 // sends one DATA per reader with exp = max(ver+lease, lastrd+lease).
 func TestFig5L2IVGetSMerge(t *testing.T) {
 	r := newL2Rig(t, 10)
-	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 0, Dst: 2, Now: 20})
-	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 1, Dst: 2, Now: 35})
+	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 0, Dst: 2, Now: 20}, r.now)
+	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 1, Dst: 2, Now: 35}, r.now)
 	r.drain(t)
 	var datas []*coherence.Msg
 	for _, m := range r.sent {
@@ -210,9 +210,9 @@ func TestFig5L2IVGetSMerge(t *testing.T) {
 // the merge; every write is acked.
 func TestFig5L2IVWriteMerge(t *testing.T) {
 	r := newL2Rig(t, 10)
-	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 0, Dst: 2, Now: 0})
-	r.l2.Deliver(&coherence.Msg{Type: coherence.Write, Line: 1, Src: 0, Dst: 2, Now: 50, ReqID: 1, Val: 500})
-	r.l2.Deliver(&coherence.Msg{Type: coherence.Write, Line: 1, Src: 1, Dst: 2, Now: 10, ReqID: 2, Val: 100})
+	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 0, Dst: 2, Now: 0}, r.now)
+	r.l2.Deliver(&coherence.Msg{Type: coherence.Write, Line: 1, Src: 0, Dst: 2, Now: 50, ReqID: 1, Val: 500}, r.now)
+	r.l2.Deliver(&coherence.Msg{Type: coherence.Write, Line: 1, Src: 1, Dst: 2, Now: 10, ReqID: 2, Val: 100}, r.now)
 	r.drain(t)
 	acks := 0
 	for _, m := range r.sent {
@@ -261,8 +261,8 @@ func TestFig5L2EvictFoldsMnow(t *testing.T) {
 // old value.
 func TestFig5L2IAV(t *testing.T) {
 	r := newL2Rig(t, 10)
-	r.l2.Deliver(&coherence.Msg{Type: coherence.AtomicReq, Line: 1, Src: 0, Dst: 2, Now: 25, ReqID: 3, Val: 4, Atomic: true})
-	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 1, Dst: 2, Now: 0})
+	r.l2.Deliver(&coherence.Msg{Type: coherence.AtomicReq, Line: 1, Src: 0, Dst: 2, Now: 25, ReqID: 3, Val: 4, Atomic: true}, r.now)
+	r.l2.Deliver(&coherence.Msg{Type: coherence.GetS, Line: 1, Src: 1, Dst: 2, Now: 0}, r.now)
 	r.drain(t)
 	var atomic, data *coherence.Msg
 	for _, m := range r.sent {

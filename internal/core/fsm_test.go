@@ -240,7 +240,7 @@ func TestL2ResetTimestamps(t *testing.T) {
 	h := newHarness(t, nil)
 	h.op(t, 0, stats.OpStore, 3, 99)
 	h.op(t, 0, stats.OpLoad, 3, 0)
-	h.l2.ResetTimestamps()
+	h.l2.ResetTimestamps(h.now)
 	m := h.l2meta(3)
 	if m.Ver != 0 || m.Exp != 0 {
 		t.Fatalf("timestamps survived reset: %+v", m)

@@ -42,6 +42,12 @@ type l1MSHR struct {
 
 func (m *l1MSHR) empty() bool { return len(m.loads) == 0 && len(m.stores) == 0 }
 
+// resetL1MSHR restores a recycled entry, keeping slice capacity.
+func resetL1MSHR(m *l1MSHR) {
+	loads, stores := m.loads[:0], m.stores[:0]
+	*m = l1MSHR{loads: loads, stores: stores}
+}
+
 // L1 is the RCC private-cache controller for one SM. It is write-through
 // and write-no-allocate; reads are satisfied from leased copies while the
 // core's logical time has not passed the lease expiration.
@@ -54,12 +60,19 @@ type L1 struct {
 	tr   *trace.Bus
 	clk  *Clock
 
-	tags  *mem.Array[l1Line]
-	mshrs *mem.MSHRs[l1MSHR]
-	inbox []*coherence.Msg
+	tags   *mem.Array[l1Line]
+	mshrs  *mem.MSHRs[l1MSHR]
+	inbox  []*coherence.Msg
+	inHead int // next inbox element to drain (the slice is reused, not re-sliced)
+	pool   *coherence.MsgPool
 
 	lastLivelock timing.Cycle
 	frozen       bool // rollover in progress: reject new requests
+
+	// wake, when non-nil, notifies the SM that this Tick may have freed
+	// resources it is polling for (an MSHR slot); set from SetSink when the
+	// sink implements coherence.Waker.
+	wake func()
 }
 
 // NewL1 builds the controller. clk is shared with the SM front end (for
@@ -75,7 +88,7 @@ func NewL1(cfg config.Config, id int, port coherence.Port, sink coherence.Sink, 
 		tags: mem.NewArray[l1Line](cfg.L1Sets, cfg.L1Ways, func(l uint64) int {
 			return coherence.L1SetIndex(l, cfg.L1Sets)
 		}),
-		mshrs: mem.NewMSHRs[l1MSHR](cfg.L1MSHRs),
+		mshrs: mem.NewMSHRs(cfg.L1MSHRs, resetL1MSHR),
 	}
 }
 
@@ -84,6 +97,10 @@ func (c *L1) Clock() *Clock { return c.clk }
 
 // SetTracer attaches the event bus (nil disables tracing).
 func (c *L1) SetTracer(tr *trace.Bus) { c.tr = tr }
+
+// SetMsgPool attaches the machine's message free list (nil keeps plain
+// allocation).
+func (c *L1) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
 
 func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
@@ -172,14 +189,16 @@ func (c *L1) sendGets(line uint64, e *mem.Entry[l1Line], now timing.Cycle) {
 	if e != nil {
 		oldExp = e.Meta.Exp
 	}
-	c.port.Send(&coherence.Msg{
+	msg := c.pool.Get()
+	*msg = coherence.Msg{
 		Type: coherence.GetS,
 		Line: line,
 		Src:  c.id,
 		Dst:  c.l2node(line),
 		Now:  c.clk.ReadNow(),
 		Exp:  oldExp,
-	}, now)
+	}
+	c.port.Send(msg, now)
 }
 
 func (c *L1) store(r *coherence.Request, now timing.Cycle) bool {
@@ -203,7 +222,8 @@ func (c *L1) store(r *coherence.Request, now timing.Cycle) bool {
 		c.tr.L1State(now, c.id, r.Line, "IV->II")
 	}
 	m.stores = append(m.stores, r)
-	c.port.Send(&coherence.Msg{
+	msg := c.pool.Get()
+	*msg = coherence.Msg{
 		Type:  coherence.Write,
 		Line:  r.Line,
 		Src:   c.id,
@@ -212,7 +232,8 @@ func (c *L1) store(r *coherence.Request, now timing.Cycle) bool {
 		Warp:  r.Warp,
 		Now:   c.clk.WriteNow(),
 		Val:   r.Val,
-	}, now)
+	}
+	c.port.Send(msg, now)
 	return true
 }
 
@@ -235,7 +256,8 @@ func (c *L1) atomic(r *coherence.Request, now timing.Cycle) bool {
 		c.tr.L1State(now, c.id, r.Line, "IV->II")
 	}
 	m.stores = append(m.stores, r)
-	c.port.Send(&coherence.Msg{
+	msg := c.pool.Get()
+	*msg = coherence.Msg{
 		Type:   coherence.AtomicReq,
 		Line:   r.Line,
 		Src:    c.id,
@@ -245,7 +267,8 @@ func (c *L1) atomic(r *coherence.Request, now timing.Cycle) bool {
 		Now:    c.clk.WriteNow(),
 		Val:    r.Val,
 		Atomic: true,
-	}, now)
+	}
+	c.port.Send(msg, now)
 	return true
 }
 
@@ -254,8 +277,9 @@ func (c *L1) complete(r *coherence.Request, val uint64, now timing.Cycle) {
 	c.sink.MemDone(r, now)
 }
 
-// Deliver implements coherence.L1.
-func (c *L1) Deliver(m *coherence.Msg) { c.inbox = append(c.inbox, m) }
+// Deliver implements coherence.L1. The delivery timestamp is unused: the
+// inbox is drained in full on the next Tick.
+func (c *L1) Deliver(m *coherence.Msg, at timing.Cycle) { c.inbox = append(c.inbox, m) }
 
 // Tick implements coherence.L1: it drains the inbox and advances the
 // livelock-avoidance clock tick.
@@ -266,11 +290,18 @@ func (c *L1) Tick(now timing.Cycle) bool {
 		c.clk.TickLivelock()
 		did = true
 	}
-	for len(c.inbox) > 0 {
-		m := c.inbox[0]
-		c.inbox = c.inbox[1:]
+	for c.inHead < len(c.inbox) {
+		m := c.inbox[c.inHead]
+		c.inbox[c.inHead] = nil
+		c.inHead++
 		c.handle(m, now)
+		c.pool.Put(m)
 		did = true
+	}
+	c.inbox = c.inbox[:0]
+	c.inHead = 0
+	if did && c.wake != nil {
+		c.wake()
 	}
 	return did
 }
@@ -425,11 +456,13 @@ func (c *L1) finishStore(mshr *l1MSHR, m *coherence.Msg, data uint64, now timing
 // a message: zero the clock, invalidate every cached line, acknowledge.
 func (c *L1) handleFlush(m *coherence.Msg, now timing.Cycle) {
 	c.FlushNow(now)
-	c.port.Send(&coherence.Msg{
+	ack := c.pool.Get()
+	*ack = coherence.Msg{
 		Type: coherence.FlushAck,
 		Src:  c.id,
 		Dst:  m.Src,
-	}, now)
+	}
+	c.port.Send(ack, now)
 }
 
 // FlushNow zeroes the core's logical clock and invalidates every cached
@@ -449,10 +482,28 @@ func (c *L1) Freeze(frozen bool) { c.frozen = frozen }
 // NextEvent implements coherence.L1.
 func (c *L1) NextEvent(now timing.Cycle) timing.Cycle {
 	next := timing.Never
-	if len(c.inbox) > 0 {
+	if c.inHead < len(c.inbox) {
 		next = now
 	}
 	if c.cfg.RCCLivelockTick > 0 && c.mshrs.Len() > 0 {
+		next = timing.Min(next, c.lastLivelock+timing.Cycle(c.cfg.RCCLivelockTick))
+	}
+	return next
+}
+
+// NextTick returns the earliest cycle at which Tick would do work if
+// called. Unlike NextEvent — which only advertises the livelock deadline
+// while misses are outstanding, because that is the only time the tick can
+// unblock progress — NextTick reports it unconditionally, since Tick fires
+// it (mutating the logical clock) whenever the deadline has passed. The
+// run loop uses NextTick to decide when to visit the controller and
+// NextEvent to decide when to advance time.
+func (c *L1) NextTick(now timing.Cycle) timing.Cycle {
+	next := timing.Never
+	if c.inHead < len(c.inbox) {
+		next = now
+	}
+	if c.cfg.RCCLivelockTick > 0 {
 		next = timing.Min(next, c.lastLivelock+timing.Cycle(c.cfg.RCCLivelockTick))
 	}
 	return next
@@ -467,11 +518,18 @@ func (c *L1) FenceReadyAt(warp int, now timing.Cycle) timing.Cycle { return now 
 func (c *L1) FenceComplete(warp int, now timing.Cycle) { c.clk.Merge() }
 
 // Drained implements coherence.L1.
-func (c *L1) Drained() bool { return len(c.inbox) == 0 && c.mshrs.Len() == 0 }
+func (c *L1) Drained() bool { return c.inHead >= len(c.inbox) && c.mshrs.Len() == 0 }
 
 // SetSink wires the completion path to the SM (set once at machine build;
 // the SM and L1 reference each other).
-func (c *L1) SetSink(s coherence.Sink) { c.sink = s }
+func (c *L1) SetSink(s coherence.Sink) {
+	c.sink = s
+	if w, ok := s.(coherence.Waker); ok {
+		c.wake = w.Wake
+	} else {
+		c.wake = nil
+	}
+}
 
 // Seed installs a leased copy with the given expiration and value —
 // scenario setup for tests and walkthroughs, never used by the machine.

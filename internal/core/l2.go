@@ -45,6 +45,12 @@ type l2MSHR struct {
 	stalled  []*coherence.Msg // requests deferred until the fill completes
 }
 
+// resetL2MSHR restores a recycled entry, keeping slice capacity.
+func resetL2MSHR(m *l2MSHR) {
+	readers, stalled := m.readers[:0], m.stalled[:0]
+	*m = l2MSHR{readers: readers, stalled: stalled}
+}
+
 // L2 is one RCC shared-cache partition: the ordering point for its slice
 // of the address space. It is write-back and write-allocate, tracks ver
 // and exp per block, carries the partition's memory time mnow, and hosts
@@ -62,14 +68,14 @@ type L2 struct {
 	dram    *mem.DRAM
 	backing *mem.Backing
 
-	pipe     timing.Queue[*coherence.Msg] // models the access pipeline
+	pipe     timing.Calendar[*coherence.Msg] // models the access pipeline
 	deferred []*coherence.Msg             // requeued (MSHR-full or rollover)
+	pool     *coherence.MsgPool
 	mnow     uint64
 
-	frozen       bool
-	rolloverReq  func() // machine-level rollover coordinator hook
-	tsGuard      uint64 // trigger threshold: TSMax minus headroom
-	lastDelivery timing.Cycle
+	frozen      bool
+	rolloverReq func() // machine-level rollover coordinator hook
+	tsGuard     uint64 // trigger threshold: TSMax minus headroom
 }
 
 // NewL2 builds partition part. rollover is invoked (once per trigger) when
@@ -85,7 +91,7 @@ func NewL2(cfg config.Config, part int, port coherence.Port, st *stats.Run, dram
 		tags: mem.NewArray[l2Line](cfg.L2SetsPerPart, cfg.L2Ways, func(l uint64) int {
 			return coherence.L2SetIndex(l, cfg.L2Partitions, cfg.L2SetsPerPart)
 		}),
-		mshrs:       mem.NewMSHRs[l2MSHR](cfg.L2MSHRs),
+		mshrs:       mem.NewMSHRs(cfg.L2MSHRs, resetL2MSHR),
 		dram:        dram,
 		backing:     backing,
 		rolloverReq: rollover,
@@ -100,15 +106,19 @@ func (c *L2) MNow() uint64 { return c.mnow }
 // SetTracer attaches the event bus (nil disables tracing).
 func (c *L2) SetTracer(tr *trace.Bus) { c.tr = tr }
 
-// Deliver implements coherence.L2: requests enter the access pipeline.
-func (c *L2) Deliver(m *coherence.Msg) {
-	c.pipe.Push(c.lastDelivery+timing.Cycle(c.cfg.L2Latency), m)
+// SetMsgPool attaches the machine's message free list (nil keeps plain
+// allocation).
+func (c *L2) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
+
+// Deliver implements coherence.L2: requests enter the access pipeline at
+// the delivery timestamp supplied by the interconnect.
+func (c *L2) Deliver(m *coherence.Msg, at timing.Cycle) {
+	c.pipe.Push(at+timing.Cycle(c.cfg.L2Latency), m)
 }
 
 // Tick implements coherence.L2. One request is serviced per cycle; DRAM
 // completions are drained and deferred requests retried.
 func (c *L2) Tick(now timing.Cycle) bool {
-	c.lastDelivery = now
 	did := false
 
 	if c.dram.Tick(now) {
@@ -188,11 +198,11 @@ func (c *L2) handle(m *coherence.Msg, now timing.Cycle) bool {
 		c.st.L2Accesses++
 		switch m.Type {
 		case coherence.GetS:
-			c.getsHit(m, e)
+			c.getsHit(m, e, now)
 		case coherence.Write:
-			c.writeHit(m, e)
+			c.writeHit(m, e, now)
 		case coherence.AtomicReq:
-			c.atomicHit(m, e)
+			c.atomicHit(m, e, now)
 		default:
 			panic("rcc l2: unexpected message " + m.Type.String())
 		}
@@ -207,7 +217,7 @@ func (c *L2) timestampsHigh(l *l2Line) bool {
 
 // getsHit implements the V-state GETS row of Fig. 5: extend the block's
 // latest lease, then either renew (no data) or send the full line.
-func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
+func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 	l := &e.Meta
 	lease := c.lease(l)
 	l.Exp = maxU(l.Exp, maxU(l.Ver+lease, m.Now+lease))
@@ -230,19 +240,23 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
 			l.Pred = grown
 			c.st.PredictorGrows++
 		}
-		c.tr.Lease(c.lastDelivery, trace.LeaseRenew, c.part, m.Line, l.Ver, l.Exp, m.Src)
-		c.port.Send(&coherence.Msg{
+		c.tr.Lease(now, trace.LeaseRenew, c.part, m.Line, l.Ver, l.Exp, m.Src)
+		resp := c.pool.Get()
+		*resp = coherence.Msg{
 			Type: coherence.Renew,
 			Line: m.Line,
 			Src:  c.nodeID,
 			Dst:  m.Src,
 			Exp:  l.Exp,
 			Ver:  l.Ver,
-		}, c.lastDelivery)
+		}
+		c.port.Send(resp, now)
+		c.pool.Put(m)
 		return
 	}
-	c.tr.Lease(c.lastDelivery, trace.LeaseGrant, c.part, m.Line, l.Ver, l.Exp, m.Src)
-	c.port.Send(&coherence.Msg{
+	c.tr.Lease(now, trace.LeaseGrant, c.part, m.Line, l.Ver, l.Exp, m.Src)
+	resp := c.pool.Get()
+	*resp = coherence.Msg{
 		Type: coherence.Data,
 		Line: m.Line,
 		Src:  c.nodeID,
@@ -250,13 +264,15 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
 		Exp:  l.Exp,
 		Ver:  l.Ver,
 		Val:  l.Val,
-	}, c.lastDelivery)
+	}
+	c.port.Send(resp, now)
+	c.pool.Put(m)
 }
 
 // writeHit implements the V-state WRITE row: rules 2–3 advance the version
 // past the writer's clock and every outstanding lease; the ack carries the
 // logical write time and the store never stalls.
-func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
+func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 	l := &e.Meta
 	l.Ver = maxU(m.Now, maxU(l.Ver, l.Exp+1))
 	l.Val = m.Val
@@ -266,8 +282,9 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
 		c.st.PredictorDrops++
 	}
 	c.tags.Touch(e)
-	c.tr.L2State(c.lastDelivery, c.part, m.Line, "write", l.Ver, l.Exp)
-	c.port.Send(&coherence.Msg{
+	c.tr.L2State(now, c.part, m.Line, "write", l.Ver, l.Exp)
+	resp := c.pool.Get()
+	*resp = coherence.Msg{
 		Type:  coherence.Ack,
 		Line:  m.Line,
 		Src:   c.nodeID,
@@ -275,12 +292,14 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
 		ReqID: m.ReqID,
 		Warp:  m.Warp,
 		Ver:   l.Ver,
-	}, c.lastDelivery)
+	}
+	c.port.Send(resp, now)
+	c.pool.Put(m)
 }
 
 // atomicHit performs the read-modify-write at the L2 (fetch-and-add) and
 // returns the old value along with the new version.
-func (c *L2) atomicHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
+func (c *L2) atomicHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 	l := &e.Meta
 	old := l.Val
 	l.Ver = maxU(m.Now, maxU(l.Ver, l.Exp+1))
@@ -291,8 +310,9 @@ func (c *L2) atomicHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
 		c.st.PredictorDrops++
 	}
 	c.tags.Touch(e)
-	c.tr.L2State(c.lastDelivery, c.part, m.Line, "atomic", l.Ver, l.Exp)
-	c.port.Send(&coherence.Msg{
+	c.tr.L2State(now, c.part, m.Line, "atomic", l.Ver, l.Exp)
+	resp := c.pool.Get()
+	*resp = coherence.Msg{
 		Type:   coherence.Data,
 		Line:   m.Line,
 		Src:    c.nodeID,
@@ -303,7 +323,9 @@ func (c *L2) atomicHit(m *coherence.Msg, e *mem.Entry[l2Line]) {
 		Ver:    l.Ver,
 		Val:    old,
 		Atomic: true,
-	}, c.lastDelivery)
+	}
+	c.port.Send(resp, now)
+	c.pool.Put(m)
 }
 
 // miss handles requests for absent blocks: I-state and transient rows of
@@ -330,7 +352,8 @@ func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
 			mshr.hasWrite = true
 			mshr.lastWr = m.Now
 			mshr.writeVal = m.Val
-			c.ackWrite(m)
+			c.ackWrite(m, now)
+			c.pool.Put(m)
 		case coherence.AtomicReq:
 			mshr.state = l2IAV
 			mshr.lastWr = m.Now
@@ -360,7 +383,8 @@ func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
 			mshr.lastWr = maxU(mshr.lastWr, m.Now)
 		}
 		mshr.hasWrite = true
-		c.ackWrite(m)
+		c.ackWrite(m, now)
+		c.pool.Put(m)
 	case coherence.AtomicReq:
 		// Atomics cannot merge; they stall until the block is V.
 		mshr.stalled = append(mshr.stalled, m)
@@ -370,9 +394,10 @@ func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
 
 // ackWrite acknowledges a write that missed: its version is known before
 // the DRAM fill returns (Sec. III-D), so the store does not wait.
-func (c *L2) ackWrite(m *coherence.Msg) {
+func (c *L2) ackWrite(m *coherence.Msg, now timing.Cycle) {
 	mshr := c.mshrs.Get(m.Line)
-	c.port.Send(&coherence.Msg{
+	resp := c.pool.Get()
+	*resp = coherence.Msg{
 		Type:  coherence.Ack,
 		Line:  m.Line,
 		Src:   c.nodeID,
@@ -380,7 +405,8 @@ func (c *L2) ackWrite(m *coherence.Msg) {
 		ReqID: m.ReqID,
 		Warp:  m.Warp,
 		Ver:   maxU(mshr.lastWr, c.mnow),
-	}, c.lastDelivery)
+	}
+	c.port.Send(resp, now)
 }
 
 // fill completes a DRAM fetch: install the block with ver/exp seeded from
@@ -423,7 +449,8 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 		l.Val = old + m.Val
 		l.Dirty = true
 		l.Pred = c.cfg.RCCMinLease
-		c.port.Send(&coherence.Msg{
+		resp := c.pool.Get()
+		*resp = coherence.Msg{
 			Type:   coherence.Data,
 			Line:   line,
 			Src:    c.nodeID,
@@ -434,7 +461,10 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 			Ver:    l.Ver,
 			Val:    old,
 			Atomic: true,
-		}, now)
+		}
+		c.port.Send(resp, now)
+		c.pool.Put(m)
+		mshr.atomic = nil
 	} else {
 		if mshr.hasWrite {
 			l.Ver = maxU(mshr.lastWr, c.mnow)
@@ -447,7 +477,8 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 			l.Exp = maxU(l.Exp, maxU(l.Ver+lease, mshr.lastRd+lease))
 			for _, r := range mshr.readers {
 				c.tr.Lease(now, trace.LeaseGrant, c.part, line, l.Ver, l.Exp, r.Src)
-				c.port.Send(&coherence.Msg{
+				resp := c.pool.Get()
+				*resp = coherence.Msg{
 					Type: coherence.Data,
 					Line: line,
 					Src:  c.nodeID,
@@ -455,8 +486,11 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 					Exp:  l.Exp,
 					Ver:  l.Ver,
 					Val:  l.Val,
-				}, now)
+				}
+				c.port.Send(resp, now)
+				c.pool.Put(r)
 			}
+			mshr.readers = mshr.readers[:0]
 		}
 	}
 
@@ -488,8 +522,10 @@ func (c *L2) Freeze(frozen bool) { c.frozen = frozen }
 
 // ResetTimestamps implements the partition's part of rollover (Sec.
 // III-D): zero mnow, every block's ver/exp, every MSHR's lastrd/lastwr,
-// and the timestamps of queued requests.
-func (c *L2) ResetTimestamps() {
+// and the timestamps of queued requests. now is the cycle at which the
+// coordinator runs the rollover; requeued pipeline messages become ready
+// immediately after it.
+func (c *L2) ResetTimestamps(now timing.Cycle) {
 	c.mnow = 0
 	c.tags.ForEach(func(e *mem.Entry[l2Line]) {
 		e.Meta.Ver = 0
@@ -512,14 +548,14 @@ func (c *L2) ResetTimestamps() {
 		m.Now, m.Exp, m.Ver = 0, 0, 0
 	}
 	zeroed := c.pipe
-	c.pipe = timing.Queue[*coherence.Msg]{}
+	c.pipe = timing.Calendar[*coherence.Msg]{}
 	for {
 		m, ok := zeroed.PopReady(timing.Never - 1)
 		if !ok {
 			break
 		}
 		m.Now, m.Exp, m.Ver = 0, 0, 0
-		c.pipe.Push(c.lastDelivery, m)
+		c.pipe.Push(now, m)
 	}
 }
 

@@ -10,6 +10,8 @@
 package gpu
 
 import (
+	"math/bits"
+
 	"rccsim/internal/coherence"
 	"rccsim/internal/config"
 	"rccsim/internal/stats"
@@ -38,14 +40,6 @@ type tracker struct {
 	pc        int
 }
 
-// pendingSubmit holds line accesses rejected by a full L1 MSHR, retried on
-// later cycles before the warp may proceed.
-type pendingSubmit struct {
-	tr    *tracker
-	lines []uint64
-	val   uint64
-}
-
 type warp struct {
 	id        int
 	trace     workload.Trace
@@ -53,10 +47,20 @@ type warp struct {
 	busyUntil timing.Cycle
 	done      bool
 
+	// nextOp caches trace[pc].Op (undefined once done) so scheduler scans
+	// read only the warp struct, never the trace memory.
+	nextOp workload.OpKind
+
 	outstanding int // memory instructions in flight
 	outClass    [3]int
 
-	submit *pendingSubmit
+	// Partially-submitted memory instruction: line accesses rejected by a
+	// full L1 MSHR, retried on later cycles before the warp may proceed.
+	// subSlot is the instruction's tracker slot (-1 when none pending);
+	// subLines reslices the instruction's coalesced line list.
+	subSlot  int32
+	subLines []uint64
+	subVal   uint64
 
 	atBarrier bool
 
@@ -80,13 +84,24 @@ type SM struct {
 	tr  *trace.Bus
 	obs Observer
 
-	warps    []*warp
-	rr       int
-	gto      bool // greedy-then-oldest instead of loose round-robin
-	greedy   int  // GTO: warp that issued last
-	liveN    int
-	trackers map[uint64]*tracker
-	nextID   *uint64
+	warps  []*warp
+	rr     int
+	gto    bool // greedy-then-oldest instead of loose round-robin
+	greedy int  // GTO: warp that issued last
+	liveN  int
+	nextID *uint64
+
+	// Tracker and Request pools. Trackers live in a slot-indexed slice;
+	// each Request carries its tracker's slot so completion needs no map.
+	// Both object kinds are recycled through free lists, so the steady
+	// state allocates nothing. liveTrk and pendingSubs keep Done() O(1).
+	trackers    []*tracker
+	freeSlots   []int32
+	freeReqs    []*coherence.Request
+	trkChunk    []tracker           // bump arena backing new trackers
+	reqChunk    []coherence.Request // bump arena backing new requests
+	liveTrk     int
+	pendingSubs int
 
 	// Sleep cache: after a scan finds nothing issuable, the SM skips
 	// further scans until wakeAt, unless a completion or barrier release
@@ -101,49 +116,143 @@ type SM struct {
 	idleValid bool
 	idleFrom  timing.Cycle
 	idleBlame stats.OpClass
-	blocked   []*warp // scratch: SC-blocked warps seen by the last scan
+
+	// Scan masks, maintained by reclassify after every warp-state change:
+	// cand bit i set ⟺ warps[i] might issue (not done-and-drained, not at
+	// a barrier, not SC-blocked), so scans touch only plausible warps;
+	// scMask bit i set ⟺ warps[i] is blocked purely by SC ordering (the
+	// set the stall accounting draws its blame from). Masks are stable
+	// while a scan runs: the only mutations happen inside issue paths,
+	// which end the scan.
+	cand   []uint64
+	scMask []uint64
+}
+
+func bitSet(mask []uint64, i int) bool { return mask[i>>6]&(1<<uint(i&63)) != 0 }
+
+func setBit(mask []uint64, i int, on bool) {
+	if on {
+		mask[i>>6] |= 1 << uint(i&63)
+	} else {
+		mask[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+// nextBit returns the first set bit in [from, n), or -1.
+func nextBit(mask []uint64, from, n int) int {
+	if from >= n {
+		return -1
+	}
+	w := from >> 6
+	word := mask[w] &^ (1<<uint(from&63) - 1)
+	for {
+		if word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			if i >= n {
+				return -1
+			}
+			return i
+		}
+		w++
+		if w >= len(mask) {
+			return -1
+		}
+		word = mask[w]
+	}
+}
+
+// reclassify recomputes w's scan-mask bits from its current state.
+func (s *SM) reclassify(w *warp) {
+	sc := s.scBlocked(w)
+	setBit(s.scMask, w.id, sc)
+	setBit(s.cand, w.id, !sc && !w.atBarrier && !(w.done && w.subSlot < 0))
 }
 
 // NewSM builds an SM running the given warp traces through l1. nextID is
 // the machine-wide request-id counter.
 func NewSM(cfg config.Config, id int, l1 coherence.L1, st *stats.Run, traces []workload.Trace, nextID *uint64, obs Observer) *SM {
 	s := &SM{
-		cfg:      cfg,
-		id:       id,
-		sc:       cfg.Consistency() == config.SC,
-		l1:       l1,
-		st:       st,
-		obs:      obs,
-		trackers: make(map[uint64]*tracker),
-		nextID:   nextID,
-		dirty:    true,
-		gto:      cfg.Scheduler == config.GTO,
+		cfg:    cfg,
+		id:     id,
+		sc:     cfg.Consistency() == config.SC,
+		l1:     l1,
+		st:     st,
+		obs:    obs,
+		nextID: nextID,
+		dirty:  true,
+		gto:    cfg.Scheduler == config.GTO,
 	}
+	ws := make([]warp, len(traces)) // one arena: scans walk contiguous memory
 	for i, tr := range traces {
-		w := &warp{id: i, trace: tr}
+		w := &ws[i]
+		w.id = i
+		w.trace = tr
+		w.subSlot = -1
 		if len(tr) == 0 {
 			w.done = true
 		} else {
+			w.nextOp = tr[0].Op
 			s.liveN++
 		}
 		s.warps = append(s.warps, w)
+	}
+	words := (len(s.warps) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	s.cand = make([]uint64, words)
+	s.scMask = make([]uint64, words)
+	for _, w := range s.warps {
+		s.reclassify(w)
 	}
 	s.checkBarrier()
 	return s
 }
 
 // Done reports whether every warp has retired its trace and every memory
-// instruction has been submitted and completed.
+// instruction has been submitted and completed. All three counters are
+// maintained incrementally, so this is O(1).
 func (s *SM) Done() bool {
-	if s.liveN != 0 || len(s.trackers) != 0 {
-		return false
+	return s.liveN == 0 && s.liveTrk == 0 && s.pendingSubs == 0
+}
+
+// allocTracker takes a tracker from the pool (or grows it).
+// allocChunk sizes the bump-arena blocks backing trackers and requests:
+// high-water growth costs one allocation per chunk instead of one per
+// object.
+const allocChunk = 64
+
+func (s *SM) allocTracker() (int32, *tracker) {
+	s.liveTrk++
+	if n := len(s.freeSlots); n > 0 {
+		slot := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		return slot, s.trackers[slot]
 	}
-	for _, w := range s.warps {
-		if w.submit != nil {
-			return false
-		}
+	slot := int32(len(s.trackers))
+	if len(s.trkChunk) == 0 {
+		s.trkChunk = make([]tracker, allocChunk)
 	}
-	return true
+	tr := &s.trkChunk[0]
+	s.trkChunk = s.trkChunk[1:]
+	s.trackers = append(s.trackers, tr)
+	return slot, tr
+}
+
+// allocReq takes a Request from the pool (or allocates a fresh one). The
+// caller overwrites every field.
+func (s *SM) allocReq() *coherence.Request {
+	if n := len(s.freeReqs); n > 0 {
+		r := s.freeReqs[n-1]
+		s.freeReqs = s.freeReqs[:n-1]
+		return r
+	}
+	if len(s.reqChunk) == 0 {
+		s.reqChunk = make([]coherence.Request, allocChunk)
+	}
+	r := &s.reqChunk[0]
+	s.reqChunk = s.reqChunk[1:]
+	return r
 }
 
 // Tick attempts to issue one instruction (loose round-robin across warps).
@@ -152,21 +261,26 @@ func (s *SM) Tick(now timing.Cycle) bool {
 		return false
 	}
 	s.dirty = false
-	s.blocked = s.blocked[:0]
 	n := len(s.warps)
 	if s.gto {
 		// Greedy-then-oldest: stick with the last issuing warp, then
 		// fall back to the oldest (lowest-id) ready warp.
-		if s.tryIssue(s.warps[s.greedy], now) {
+		if g := s.warps[s.greedy]; bitSet(s.cand, s.greedy) && g.busyUntil <= now && s.tryIssue(g, now) {
+			s.reclassify(g)
 			s.wakeAt = now + 1
 			s.closeIdle(now)
 			return true
 		}
-		for i := 0; i < n; i++ {
+		for i := nextBit(s.cand, 0, n); i >= 0; i = nextBit(s.cand, i+1, n) {
 			if i == s.greedy {
 				continue
 			}
-			if s.tryIssue(s.warps[i], now) {
+			w := s.warps[i]
+			if w.busyUntil > now {
+				continue
+			}
+			if s.tryIssue(w, now) {
+				s.reclassify(w)
 				s.greedy = i
 				s.wakeAt = now + 1
 				s.closeIdle(now)
@@ -174,34 +288,79 @@ func (s *SM) Tick(now timing.Cycle) bool {
 			}
 		}
 	} else {
-		for i := 0; i < n; i++ {
-			w := s.warps[(s.rr+i)%n]
-			if s.tryIssue(w, now) {
-				s.rr = (s.rr + i + 1) % n
-				s.wakeAt = now + 1
-				s.closeIdle(now)
-				return true
+		// Loose round-robin over candidate warps: [rr, n) then [0, rr).
+		lo, hi := s.rr, n
+		for pass := 0; pass < 2; pass++ {
+			for i := nextBit(s.cand, lo, hi); i >= 0; i = nextBit(s.cand, i+1, hi) {
+				w := s.warps[i]
+				if w.busyUntil > now {
+					continue
+				}
+				if s.tryIssue(w, now) {
+					s.reclassify(w)
+					s.rr = i + 1
+					if s.rr == n {
+						s.rr = 0
+					}
+					s.wakeAt = now + 1
+					s.closeIdle(now)
+					return true
+				}
 			}
+			lo, hi = 0, s.rr
 		}
 	}
 	s.wakeAt = s.scanNextEvent(now)
 	// Nothing issued: if some warp was blocked purely by SC ordering,
 	// this cycle (and every cycle until the next scan) is an SC stall.
-	if len(s.blocked) > 0 {
+	// Only the op the scheduler would actually have issued (the first
+	// blocked warp in scan order) loses its slot; later warps were not
+	// schedulable this cycle anyway (Fig 1a).
+	if first := s.firstBlocked(now); first != nil {
 		if !s.idleValid {
 			s.idleValid = true
 			s.idleFrom = now
-			s.idleBlame = s.blame(s.blocked[0])
-			s.tr.StallBegin(now, s.id, s.blocked[0].id, s.idleBlame)
+			s.idleBlame = s.blame(first)
+			s.tr.StallBegin(now, s.id, first.id, s.idleBlame)
 		}
-		// Only the op the scheduler would actually have issued (the
-		// first blocked warp in round-robin order) loses its slot;
-		// later warps were not schedulable this cycle anyway (Fig 1a).
-		s.blocked[0].wasStalled = true
+		first.wasStalled = true
 	} else {
 		s.closeIdle(now)
 	}
 	return false
+}
+
+// firstBlocked returns the SC-blocked, not-busy warp the scheduler would
+// have tried first this cycle: under GTO the greedy warp, then the lowest
+// index; under round-robin the first in [rr, n) ∪ [0, rr) order. Busy
+// warps are excluded exactly as the issue scan excludes them before its
+// SC check.
+func (s *SM) firstBlocked(now timing.Cycle) *warp {
+	if !s.sc {
+		return nil
+	}
+	n := len(s.warps)
+	if s.gto {
+		if g := s.warps[s.greedy]; bitSet(s.scMask, s.greedy) && g.busyUntil <= now {
+			return g
+		}
+		for i := nextBit(s.scMask, 0, n); i >= 0; i = nextBit(s.scMask, i+1, n) {
+			if w := s.warps[i]; i != s.greedy && w.busyUntil <= now {
+				return w
+			}
+		}
+		return nil
+	}
+	lo, hi := s.rr, n
+	for pass := 0; pass < 2; pass++ {
+		for i := nextBit(s.scMask, lo, hi); i >= 0; i = nextBit(s.scMask, i+1, hi) {
+			if w := s.warps[i]; w.busyUntil <= now {
+				return w
+			}
+		}
+		lo, hi = 0, s.rr
+	}
+	return nil
 }
 
 // closeIdle ends the current SC-stall interval, charging its cycles.
@@ -217,13 +376,29 @@ func (s *SM) closeIdle(now timing.Cycle) {
 	}
 }
 
+// scBlocked reports whether w is blocked purely by SC ordering: its next
+// instruction is a memory or scratchpad op behind an outstanding access.
+// This is exactly the set of warps tryIssue would fail with stall
+// bookkeeping, so the scan skips them wholesale and the stall accounting
+// picks its victim from the scMask instead (see firstBlocked).
+func (s *SM) scBlocked(w *warp) bool {
+	if !s.sc || w.outstanding == 0 || w.subSlot >= 0 || w.done || w.atBarrier {
+		return false
+	}
+	switch w.nextOp {
+	case workload.OpLocal, workload.OpLoad, workload.OpStore, workload.OpAtomic:
+		return true
+	}
+	return false
+}
+
 // tryIssue attempts to make progress on w; it also performs stall
 // bookkeeping for warps it finds blocked.
 func (s *SM) tryIssue(w *warp, now timing.Cycle) bool {
 	if w.atBarrier || w.busyUntil > now {
 		return false
 	}
-	if w.submit != nil {
+	if w.subSlot >= 0 {
 		// A partially-submitted memory instruction must drain before
 		// anything else (including trace completion).
 		return s.drainSubmit(w, now)
@@ -240,7 +415,8 @@ func (s *SM) tryIssue(w *warp, now timing.Cycle) bool {
 
 	case workload.OpLocal:
 		if s.sc && w.outstanding > 0 {
-			s.markStall(w, now)
+			// Unreachable from the masked scan (scBlocked covers this);
+			// kept so a direct call stays correct.
 			return false
 		}
 		lat := uint64(in.Lat)
@@ -253,8 +429,7 @@ func (s *SM) tryIssue(w *warp, now timing.Cycle) bool {
 
 	case workload.OpLoad, workload.OpStore, workload.OpAtomic:
 		if s.sc && w.outstanding > 0 {
-			s.markStall(w, now)
-			return false
+			return false // unreachable from the masked scan, see scBlocked
 		}
 		if !s.sc && w.outstanding >= woMaxOutstanding {
 			return false // structural (LSU queue), not an SC stall
@@ -284,11 +459,16 @@ func (s *SM) retire(w *warp) {
 }
 
 func (s *SM) finishTraceIfNeeded(w *warp) {
-	if !w.done && w.pc >= len(w.trace) {
+	if w.done {
+		return
+	}
+	if w.pc >= len(w.trace) {
 		w.done = true
 		s.liveN--
 		s.checkBarrier()
+		return
 	}
+	w.nextOp = w.trace[w.pc].Op
 }
 
 // issueMem starts a warp-level memory instruction: one Request per
@@ -309,10 +489,18 @@ func (s *SM) issueMem(w *warp, in *workload.Instr, now timing.Cycle) {
 		s.st.MemOpsStalled++
 		w.wasStalled = false
 	}
-	tr := &tracker{w: w, class: class, issue: now, remaining: len(in.Lines), pc: w.pc}
+	slot, tr := s.allocTracker()
+	tr.w = w
+	tr.class = class
+	tr.issue = now
+	tr.remaining = len(in.Lines)
+	tr.pc = w.pc
 	w.outstanding++
 	w.outClass[class]++
-	w.submit = &pendingSubmit{tr: tr, lines: in.Lines, val: in.Val}
+	w.subSlot = slot
+	w.subLines = in.Lines
+	w.subVal = in.Val
+	s.pendingSubs++
 	w.pc++
 	s.drainSubmit(w, now)
 	s.finishTraceIfNeeded(w)
@@ -320,29 +508,32 @@ func (s *SM) issueMem(w *warp, in *workload.Instr, now timing.Cycle) {
 
 // drainSubmit pushes pending line accesses into the L1 until it refuses.
 func (s *SM) drainSubmit(w *warp, now timing.Cycle) bool {
-	sub := w.submit
+	tr := s.trackers[w.subSlot]
 	progress := false
-	for len(sub.lines) > 0 {
+	for len(w.subLines) > 0 {
 		*s.nextID++
-		r := &coherence.Request{
+		r := s.allocReq()
+		*r = coherence.Request{
 			ID:    *s.nextID,
-			Class: sub.tr.class,
-			Line:  sub.lines[0],
+			Class: tr.class,
+			Line:  w.subLines[0],
 			Warp:  w.id,
-			Val:   sub.val,
-			Issue: sub.tr.issue,
+			Val:   w.subVal,
+			Issue: tr.issue,
+			Slot:  w.subSlot,
 		}
-		s.trackers[r.ID] = sub.tr
 		if !s.l1.Access(r, now) {
-			delete(s.trackers, r.ID)
+			s.freeReqs = append(s.freeReqs, r)
 			*s.nextID--
 			break
 		}
-		sub.lines = sub.lines[1:]
+		w.subLines = w.subLines[1:]
 		progress = true
 	}
-	if len(sub.lines) == 0 {
-		w.submit = nil
+	if len(w.subLines) == 0 {
+		w.subSlot = -1
+		w.subLines = nil
+		s.pendingSubs--
 	}
 	return progress
 }
@@ -389,10 +580,6 @@ func (s *SM) blame(w *warp) stats.OpClass {
 	}
 }
 
-func (s *SM) markStall(w *warp, now timing.Cycle) {
-	s.blocked = append(s.blocked, w)
-}
-
 func (s *SM) markFenceStall(w *warp, now timing.Cycle) {
 	if !w.fenceStalled {
 		w.fenceStalled = true
@@ -420,6 +607,7 @@ func (s *SM) checkBarrier() {
 	}
 	for _, w := range s.warps {
 		w.atBarrier = false
+		s.reclassify(w)
 	}
 	s.dirty = true
 }
@@ -429,11 +617,12 @@ func (s *SM) SetTracer(tr *trace.Bus) { s.tr = tr }
 
 // MemDone implements coherence.Sink.
 func (s *SM) MemDone(r *coherence.Request, now timing.Cycle) {
-	tr, ok := s.trackers[r.ID]
-	if !ok {
+	slot := r.Slot
+	if slot < 0 || int(slot) >= len(s.trackers) {
 		return
 	}
-	delete(s.trackers, r.ID)
+	tr := s.trackers[slot]
+	s.freeReqs = append(s.freeReqs, r)
 	s.dirty = true
 	if s.obs != nil && tr.class != stats.OpStore {
 		s.obs.LoadObserved(s.id, tr.w.id, tr.pc, r.Line, r.Data)
@@ -452,6 +641,20 @@ func (s *SM) MemDone(r *coherence.Request, now timing.Cycle) {
 	w := tr.w
 	w.outstanding--
 	w.outClass[tr.class]--
+	tr.w = nil
+	s.freeSlots = append(s.freeSlots, slot)
+	s.liveTrk--
+	s.reclassify(w)
+}
+
+// Wake implements coherence.Waker: the L1 ticked and may have freed the
+// MSHR slot a partially-submitted instruction is waiting on. Re-scan on
+// the next visited cycle. Gated on pendingSubs so an idle SM stays asleep:
+// completions arrive via MemDone, which marks dirty itself.
+func (s *SM) Wake() {
+	if s.pendingSubs > 0 {
+		s.dirty = true
+	}
 }
 
 // NextEvent reports the earliest future cycle at which the SM itself could
@@ -460,27 +663,44 @@ func (s *SM) NextEvent(now timing.Cycle) timing.Cycle {
 	if s.dirty {
 		return now
 	}
-	return s.wakeAt
+	next := s.wakeAt
+	if s.pendingSubs > 0 {
+		// A partially-submitted instruction keeps the machine visiting
+		// every cycle (as the retry loop always did); the scan itself only
+		// reruns once the L1 wakes us, so the visit is O(1).
+		next = timing.Min(next, now+1)
+	}
+	return next
 }
 
 func (s *SM) scanNextEvent(now timing.Cycle) timing.Cycle {
 	next := timing.Never
-	for _, w := range s.warps {
-		if w.submit != nil {
-			return now + 1 // MSHR retry
-		}
-		if w.done {
-			continue
-		}
-		if w.atBarrier {
-			continue
-		}
-		if w.busyUntil > now {
-			next = timing.Min(next, w.busyUntil)
-			continue
-		}
-		if !s.sc && w.pc < len(w.trace) && w.trace[w.pc].Op == workload.OpFence && w.outstanding == 0 {
-			next = timing.Min(next, s.l1.FenceReadyAt(w.id, now))
+	n := len(s.warps)
+	// cand ∪ scMask covers every warp the full scan could take an event
+	// from: done and barrier-parked warps are in neither mask, and a
+	// busy-but-SC-blocked warp (in scMask only) still contributes its
+	// busyUntil, because the stall accounting must re-run when it wakes.
+	for wi := range s.cand {
+		word := s.cand[wi] | s.scMask[wi]
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if i >= n {
+				break
+			}
+			w := s.warps[i]
+			if w.subSlot >= 0 {
+				// MSHR retry: the L1 wakes us when its Tick frees a
+				// slot; until then retries are known to fail.
+				continue
+			}
+			if w.busyUntil > now {
+				next = timing.Min(next, w.busyUntil)
+				continue
+			}
+			if !s.sc && w.nextOp == workload.OpFence && w.outstanding == 0 {
+				next = timing.Min(next, s.l1.FenceReadyAt(w.id, now))
+			}
 		}
 	}
 	return next

@@ -30,7 +30,7 @@ func (f *fakeL1) Access(r *coherence.Request, now timing.Cycle) bool {
 	f.pending.Push(now+f.delay, r)
 	return true
 }
-func (f *fakeL1) Deliver(m *coherence.Msg) {}
+func (f *fakeL1) Deliver(m *coherence.Msg, at timing.Cycle) {}
 func (f *fakeL1) Tick(now timing.Cycle) bool {
 	did := false
 	for {
@@ -74,6 +74,9 @@ func run(t *testing.T, sm *SM, l1 *fakeL1, limit int) timing.Cycle {
 		if sm.Done() {
 			return now
 		}
+		// The machine's L1 wakes the SM whenever an MSHR retry might
+		// succeed; fakeL1 has no MSHR model, so wake unconditionally.
+		sm.Wake()
 		sm.Tick(now)
 		l1.Tick(now)
 		now++

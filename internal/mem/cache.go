@@ -10,6 +10,7 @@ type Entry[M any] struct {
 	Valid bool
 	Meta  M
 	lru   uint64
+	idx   int32 // position in the array's flat storage (for the tag mirror)
 }
 
 // Victim describes a line displaced by Allocate.
@@ -23,10 +24,19 @@ type Victim[M any] struct {
 // line-address-to-set mapping so that L1s (modulo sets) and L2 partitions
 // (partition-interleaved) can share the implementation.
 type Array[M any] struct {
-	sets  [][]Entry[M]
+	sets [][]Entry[M]
+	// tags mirrors every entry's (valid, Tag) pair in a flat, densely
+	// packed slice so Lookup scans one cache line per set instead of one
+	// per way. Invalid slots hold ^0 (a match is still confirmed against
+	// the entry, so a real line address of ^0 stays correct).
+	tags  []uint64
+	flat  []Entry[M]
+	ways  int
 	index func(line uint64) int
 	clock uint64
 }
+
+const invalidTag = ^uint64(0)
 
 // NewArray builds an array with the given geometry. index maps a line
 // address to a set number in [0, sets).
@@ -34,9 +44,17 @@ func NewArray[M any](sets, ways int, index func(line uint64) int) *Array[M] {
 	if sets <= 0 || ways <= 0 {
 		panic("mem: non-positive cache geometry")
 	}
-	a := &Array[M]{index: index, sets: make([][]Entry[M], sets)}
+	a := &Array[M]{index: index, ways: ways, sets: make([][]Entry[M], sets)}
+	a.flat = make([]Entry[M], sets*ways) // one backing array for all sets
+	a.tags = make([]uint64, sets*ways)
+	for i := range a.tags {
+		a.tags[i] = invalidTag
+	}
+	for i := range a.flat {
+		a.flat[i].idx = int32(i)
+	}
 	for i := range a.sets {
-		a.sets[i] = make([]Entry[M], ways)
+		a.sets[i] = a.flat[i*ways : (i+1)*ways : (i+1)*ways]
 	}
 	return a
 }
@@ -44,10 +62,14 @@ func NewArray[M any](sets, ways int, index func(line uint64) int) *Array[M] {
 // Lookup returns the entry holding line, or nil. It does not update LRU
 // state; callers decide what counts as a use via Touch.
 func (a *Array[M]) Lookup(line uint64) *Entry[M] {
-	set := a.sets[a.index(line)]
-	for i := range set {
-		if set[i].Valid && set[i].Tag == line {
-			return &set[i]
+	base := a.index(line) * a.ways
+	tags := a.tags[base : base+a.ways]
+	for i, t := range tags {
+		if t == line {
+			e := &a.flat[base+i]
+			if e.Valid && e.Tag == line {
+				return e
+			}
 		}
 	}
 	return nil
@@ -66,6 +88,7 @@ func (a *Array[M]) Invalidate(e *Entry[M]) {
 	e.Tag = 0
 	e.Meta = zero
 	e.lru = 0
+	a.tags[e.idx] = invalidTag
 }
 
 // Allocate finds a slot for line, evicting the LRU entry among those for
@@ -110,6 +133,7 @@ func (a *Array[M]) Allocate(line uint64, canEvict func(*Entry[M]) bool) (*Entry[
 	target.Tag = line
 	target.Valid = true
 	target.Meta = zero
+	a.tags[target.idx] = line
 	a.Touch(target)
 	return target, victim, true
 }
@@ -133,60 +157,169 @@ func (a *Array[M]) CountValid() int {
 	return n
 }
 
-// MSHRs is a miss-status-holding-register table keyed by line address, with
-// a capacity bound. E is the protocol-specific entry payload.
-type MSHRs[E any] struct {
-	cap int
-	m   map[uint64]*E
+type mshrSlot[E any] struct {
+	line uint64
+	e    *E // nil marks an empty slot
 }
 
-// NewMSHRs returns a table with the given capacity.
-func NewMSHRs[E any](capacity int) *MSHRs[E] {
+// MSHRs is a miss-status-holding-register table keyed by line address, with
+// a capacity bound. E is the protocol-specific entry payload.
+//
+// The table is open-addressed (linear probing over a power-of-two slot
+// array sized well above the capacity bound, with backward-shift deletion
+// so probe chains never accumulate tombstones) and recycles entry payloads
+// through a free list, so the steady-state hot path performs no map
+// hashing and no allocation. Consequently an entry pointer is only valid
+// until the Free that releases it; the next Alloc may hand the same
+// payload back out, reset by the constructor's reset function.
+type MSHRs[E any] struct {
+	cap   int
+	n     int
+	shift uint // 64 - log2(len(slots)); fibonacci-hash shift
+	slots []mshrSlot[E]
+	free  []*E
+	reset func(*E)
+}
+
+// NewMSHRs returns a table with the given capacity. reset restores a
+// recycled entry to its zero state; it should truncate slices with [:0]
+// rather than nil them so their capacity survives recycling. A nil reset
+// zeroes the whole entry.
+func NewMSHRs[E any](capacity int, reset func(*E)) *MSHRs[E] {
 	if capacity <= 0 {
 		panic("mem: non-positive MSHR capacity")
 	}
-	return &MSHRs[E]{cap: capacity, m: make(map[uint64]*E)}
+	size, shift := 16, uint(60)
+	for size < 4*capacity {
+		size *= 2
+		shift--
+	}
+	return &MSHRs[E]{
+		cap:   capacity,
+		shift: shift,
+		slots: make([]mshrSlot[E], size),
+		reset: reset,
+	}
+}
+
+// home returns the starting probe index for line.
+func (t *MSHRs[E]) home(line uint64) int {
+	return int((line * 0x9E3779B97F4A7C15) >> t.shift)
 }
 
 // Get returns the entry for line, or nil.
-func (t *MSHRs[E]) Get(line uint64) *E { return t.m[line] }
+func (t *MSHRs[E]) Get(line uint64) *E {
+	i := t.home(line)
+	mask := len(t.slots) - 1
+	for {
+		s := &t.slots[i]
+		if s.e == nil {
+			return nil
+		}
+		if s.line == line {
+			return s.e
+		}
+		i = (i + 1) & mask
+	}
+}
 
 // Alloc creates an entry for line. It returns nil if the table is full or
-// the line already has an entry (callers must Get first).
+// the line already has an entry (callers must Get first). The returned
+// payload may be a recycled one; any pointer obtained before the matching
+// Free is stale.
 func (t *MSHRs[E]) Alloc(line uint64) *E {
-	if len(t.m) >= t.cap {
+	if t.n >= t.cap {
 		return nil
 	}
-	if _, dup := t.m[line]; dup {
-		return nil
+	i := t.home(line)
+	mask := len(t.slots) - 1
+	for {
+		s := &t.slots[i]
+		if s.e == nil {
+			break
+		}
+		if s.line == line {
+			return nil
+		}
+		i = (i + 1) & mask
 	}
-	e := new(E)
-	t.m[line] = e
+	var e *E
+	if k := len(t.free); k > 0 {
+		e = t.free[k-1]
+		t.free[k-1] = nil
+		t.free = t.free[:k-1]
+	} else {
+		e = new(E)
+	}
+	t.slots[i] = mshrSlot[E]{line: line, e: e}
+	t.n++
 	return e
 }
 
-// Free releases the entry for line.
-func (t *MSHRs[E]) Free(line uint64) { delete(t.m, line) }
+// Free releases the entry for line and recycles its payload. The caller
+// must drop every pointer to the payload before the next Alloc.
+func (t *MSHRs[E]) Free(line uint64) {
+	mask := len(t.slots) - 1
+	i := t.home(line)
+	for {
+		s := &t.slots[i]
+		if s.e == nil {
+			return
+		}
+		if s.line == line {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	e := t.slots[i].e
+	if t.reset != nil {
+		t.reset(e)
+	} else {
+		var zero E
+		*e = zero
+	}
+	t.free = append(t.free, e)
+	t.n--
+	// Backward-shift deletion: pull every displaced successor in the
+	// probe chain one hole closer to its home slot.
+	j := i
+	for {
+		j = (j + 1) & mask
+		if t.slots[j].e == nil {
+			break
+		}
+		h := t.home(t.slots[j].line)
+		if (j-h)&mask >= (j-i)&mask {
+			t.slots[i] = t.slots[j]
+			i = j
+		}
+	}
+	t.slots[i] = mshrSlot[E]{}
+}
 
 // Len reports the number of live entries.
-func (t *MSHRs[E]) Len() int { return len(t.m) }
+func (t *MSHRs[E]) Len() int { return t.n }
 
 // Full reports whether Alloc would fail for a new line.
-func (t *MSHRs[E]) Full() bool { return len(t.m) >= t.cap }
+func (t *MSHRs[E]) Full() bool { return t.n >= t.cap }
 
-// ForEach visits all entries (iteration order unspecified; callers that
-// need determinism must sort keys — see Lines).
+// ForEach visits all entries in slot order (deterministic for a given
+// insertion history, but not sorted — see Lines for sorted keys).
 func (t *MSHRs[E]) ForEach(fn func(line uint64, e *E)) {
-	for l, e := range t.m {
-		fn(l, e)
+	for i := range t.slots {
+		if t.slots[i].e != nil {
+			fn(t.slots[i].line, t.slots[i].e)
+		}
 	}
 }
 
 // Lines returns all keys in ascending order (for deterministic iteration).
 func (t *MSHRs[E]) Lines() []uint64 {
-	out := make([]uint64, 0, len(t.m))
-	for l := range t.m {
-		out = append(out, l)
+	out := make([]uint64, 0, t.n)
+	for i := range t.slots {
+		if t.slots[i].e != nil {
+			out = append(out, t.slots[i].line)
+		}
 	}
 	// insertion sort; tables are small
 	for i := 1; i < len(out); i++ {
@@ -197,18 +330,62 @@ func (t *MSHRs[E]) Lines() []uint64 {
 	return out
 }
 
+// Backing line-address paging: workload generators bump-allocate line
+// addresses densely from zero, so the image is a lazily grown array of
+// fixed pages with a map fallback for pathological (sparse, huge)
+// addresses from hand-written tests.
+const (
+	backingPageBits  = 12
+	backingPageLines = 1 << backingPageBits
+	backingPageMask  = backingPageLines - 1
+	backingMaxPages  = 1 << 16 // dense coverage for lines < 2^28
+)
+
 // Backing is the DRAM value image shared by all partitions: one uint64
 // value per line (the simulator tracks values at line granularity; see
 // DESIGN.md). Absent lines read as zero.
 type Backing struct {
-	m map[uint64]uint64
+	pages    [][]uint64
+	overflow map[uint64]uint64 // lines >= backingMaxPages * backingPageLines
 }
 
 // NewBacking returns an empty memory image.
-func NewBacking() *Backing { return &Backing{m: make(map[uint64]uint64)} }
+func NewBacking() *Backing { return &Backing{} }
 
 // Read returns the value of line (zero if never written).
-func (b *Backing) Read(line uint64) uint64 { return b.m[line] }
+func (b *Backing) Read(line uint64) uint64 {
+	p := line >> backingPageBits
+	if p < uint64(len(b.pages)) {
+		if pg := b.pages[p]; pg != nil {
+			return pg[line&backingPageMask]
+		}
+		return 0
+	}
+	if p >= backingMaxPages {
+		return b.overflow[line]
+	}
+	return 0
+}
 
 // Write stores val at line.
-func (b *Backing) Write(line, val uint64) { b.m[line] = val }
+func (b *Backing) Write(line, val uint64) {
+	p := line >> backingPageBits
+	if p >= backingMaxPages {
+		if b.overflow == nil {
+			b.overflow = make(map[uint64]uint64)
+		}
+		b.overflow[line] = val
+		return
+	}
+	if p >= uint64(len(b.pages)) {
+		grown := make([][]uint64, p+1)
+		copy(grown, b.pages)
+		b.pages = grown
+	}
+	pg := b.pages[p]
+	if pg == nil {
+		pg = make([]uint64, backingPageLines)
+		b.pages[p] = pg
+	}
+	pg[line&backingPageMask] = val
+}

@@ -126,7 +126,7 @@ func TestArrayPropertyNoDuplicates(t *testing.T) {
 
 func TestMSHRsBasics(t *testing.T) {
 	type entry struct{ n int }
-	tbl := NewMSHRs[entry](2)
+	tbl := NewMSHRs[entry](2, nil)
 	e := tbl.Alloc(10)
 	if e == nil {
 		t.Fatal("alloc failed")
@@ -155,7 +155,7 @@ func TestMSHRsBasics(t *testing.T) {
 
 func TestMSHRsLinesSorted(t *testing.T) {
 	type entry struct{}
-	tbl := NewMSHRs[entry](16)
+	tbl := NewMSHRs[entry](16, nil)
 	for _, l := range []uint64{9, 3, 7, 1, 5} {
 		tbl.Alloc(l)
 	}

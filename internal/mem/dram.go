@@ -38,12 +38,19 @@ type DRAM struct {
 	banks    []dramBank
 	busFree  timing.Cycle
 	queue    []pendingReq
-	done     timing.Queue[DRAMReq]
+	done     timing.Calendar[DRAMReq]
 	st       *stats.Run
 	tr       *trace.Bus
 	part     int
 	rowLines uint64
 	lastTick timing.Cycle
+
+	// nextTry caches the earliest cycle at which a queued request could
+	// issue, computed by a failed schedule scan. Bank, bus, and row state
+	// change only when a command issues (or a request arrives), and both
+	// paths reset the cache, so skipping scans before nextTry is exact.
+	// Zero means unknown (scan on the next call).
+	nextTry timing.Cycle
 }
 
 // NewDRAM builds a channel using the DRAM parameters in cfg.
@@ -67,12 +74,20 @@ func (d *DRAM) SetTracer(tr *trace.Bus, part int) {
 // Submit enqueues req at cycle now; the scheduler issues it later.
 func (d *DRAM) Submit(req DRAMReq, now timing.Cycle) {
 	row := req.Line / d.rowLines
+	bank := int(row % uint64(len(d.banks)))
+	arrival := now + timing.Cycle(d.cfg.DRAMPipeLatency)
 	d.queue = append(d.queue, pendingReq{
 		req:     req,
-		bank:    int(row % uint64(len(d.banks))),
+		bank:    bank,
 		row:     row / uint64(len(d.banks)),
-		arrival: now + timing.Cycle(d.cfg.DRAMPipeLatency),
+		arrival: arrival,
 	})
+	// The new request can issue no earlier than max(arrival, bank ready);
+	// folding that bound into nextTry keeps the cache exact without
+	// forcing a rescan (bank/bus state changes still reset it).
+	if t := timing.Max(arrival, d.banks[bank].busyUntil); d.nextTry > 0 && t < d.nextTry {
+		d.nextTry = t
+	}
 	// Opportunistically schedule so single-request callers need no Tick.
 	d.schedule(now)
 }
@@ -91,15 +106,19 @@ func (d *DRAM) Tick(now timing.Cycle) bool {
 // schedule issues at most one command (FR-FCFS: oldest row hit on a ready
 // bank first, else oldest request on a ready bank).
 func (d *DRAM) schedule(now timing.Cycle) bool {
+	if d.nextTry > now {
+		return false
+	}
 	pick := -1
 	pickHit := false
+	earliest := timing.Never
 	for i := range d.queue {
 		p := &d.queue[i]
-		if p.arrival > now {
-			continue
-		}
 		b := &d.banks[p.bank]
-		if b.busyUntil > now {
+		if p.arrival > now || b.busyUntil > now {
+			if t := timing.Max(p.arrival, b.busyUntil); t < earliest {
+				earliest = t
+			}
 			continue
 		}
 		hit := b.hasOpen && b.openRow == p.row
@@ -113,8 +132,10 @@ func (d *DRAM) schedule(now timing.Cycle) bool {
 		}
 	}
 	if pick == -1 {
+		d.nextTry = earliest
 		return false
 	}
+	d.nextTry = 0
 	p := d.queue[pick]
 	d.queue = append(d.queue[:pick], d.queue[pick+1:]...)
 
@@ -166,6 +187,12 @@ func (d *DRAM) PopDone(now timing.Cycle) (DRAMReq, bool) {
 // a completion, or a schedulable queued request.
 func (d *DRAM) NextEvent() timing.Cycle {
 	next := d.done.NextReady()
+	if len(d.queue) == 0 {
+		return next
+	}
+	if d.nextTry > 0 {
+		return timing.Min(next, d.nextTry)
+	}
 	for i := range d.queue {
 		p := &d.queue[i]
 		t := timing.Max(p.arrival, d.banks[p.bank].busyUntil)

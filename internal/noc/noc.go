@@ -14,9 +14,11 @@ import (
 	"rccsim/internal/trace"
 )
 
-// Node receives delivered messages.
+// Node receives delivered messages. at is the cycle the network last
+// ticked before this delivery (receivers that have not ticked yet this
+// cycle see at == their own last visited cycle).
 type Node interface {
-	Deliver(m *coherence.Msg)
+	Deliver(m *coherence.Msg, at timing.Cycle)
 }
 
 // Network is the pair of crossbars. Node ids 0..NumSMs-1 are L1s;
@@ -35,7 +37,16 @@ type Network struct {
 	rspSrcFree []timing.Cycle // indexed by partition
 	rspDstFree []timing.Cycle // indexed by SM id
 
-	inflight timing.Queue[*coherence.Msg]
+	inflight timing.Calendar[*coherence.Msg]
+
+	// last is the cycle of the most recent Tick; deliveries during a Tick
+	// pass the previous tick's cycle so receivers that already ticked this
+	// cycle timestamp pipeline entry exactly as if they tracked it.
+	last timing.Cycle
+
+	// onDeliver, when set, is called after each delivery so the run loop
+	// can re-arm the destination's wake time.
+	onDeliver func(dst int, now timing.Cycle)
 }
 
 // New builds the interconnect for cfg.
@@ -92,8 +103,17 @@ func (n *Network) Send(m *coherence.Msg, now timing.Cycle) {
 	n.inflight.Push(deliver, m)
 }
 
+// SetWake attaches a per-delivery callback used by the run loop to re-arm
+// the destination component's wake time.
+func (n *Network) SetWake(fn func(dst int, now timing.Cycle)) { n.onDeliver = fn }
+
 // Tick delivers every message that has arrived by cycle now.
 func (n *Network) Tick(now timing.Cycle) bool {
+	// Receivers that tick after the network this cycle stamp pipeline
+	// entry at now; the at we hand them is the network's previous tick,
+	// which is the receiver's own previous visited cycle.
+	at := n.last
+	n.last = now
 	did := false
 	for {
 		m, ok := n.inflight.PopReady(now)
@@ -102,7 +122,10 @@ func (n *Network) Tick(now timing.Cycle) bool {
 		}
 		did = true
 		n.tr.MsgRecv(now, m)
-		n.nodes[m.Dst].Deliver(m)
+		n.nodes[m.Dst].Deliver(m, at)
+		if n.onDeliver != nil {
+			n.onDeliver(m.Dst, now)
+		}
 	}
 }
 

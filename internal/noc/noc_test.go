@@ -15,7 +15,7 @@ type sink struct {
 	now *timing.Cycle
 }
 
-func (s *sink) Deliver(m *coherence.Msg) {
+func (s *sink) Deliver(m *coherence.Msg, at timing.Cycle) {
 	s.got = append(s.got, m)
 	s.at = append(s.at, *s.now)
 }

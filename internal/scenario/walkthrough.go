@@ -38,9 +38,9 @@ func (p *busPort) Send(m *coherence.Msg, now timing.Cycle) {
 	p.tr.MsgSend(now, m, coherence.Flits(p.cfg, m))
 	p.tr.MsgRecv(now, m)
 	if m.Dst < p.cfg.NumSMs {
-		p.l1s[m.Dst].Deliver(m)
+		p.l1s[m.Dst].Deliver(m, now)
 	} else {
-		p.l2.Deliver(m)
+		p.l2.Deliver(m, now)
 	}
 }
 

@@ -43,8 +43,22 @@ type Machine struct {
 	drams   []*mem.DRAM
 	backing *mem.Backing
 	tr      *trace.Bus
+	pool    *coherence.MsgPool
 	now     timing.Cycle
 	nextID  uint64
+	done    bool // latched: a finished machine never becomes un-done
+
+	// Active-set scheduling: per-component wake times. Step only ticks a
+	// component once the current cycle reaches its wake time; wake times
+	// are re-armed from the component's own NextEvent/NextTick after each
+	// tick and pulled earlier by cross-component events (a NoC delivery, a
+	// completion, a rollover phase change). Wake times may be conservative
+	// (too early is a wasted no-op tick, identical to the old
+	// tick-everything loop); they must never be late.
+	smWake []timing.Cycle
+	l1Wake []timing.Cycle
+	l2Wake []timing.Cycle
+	l1Next []func(timing.Cycle) timing.Cycle // NextTick if provided, else NextEvent
 
 	// RCC rollover coordination.
 	rccL1s    []*core.L1
@@ -124,7 +138,90 @@ func New(cfg config.Config, prog *workload.Program, obs gpu.Observer) (*Machine,
 		m.sms = append(m.sms, sm)
 		bindSink(l1, sm)
 	}
+
+	// One message free list shared by every controller of this machine.
+	// The machine is ticked from a single goroutine, so recycled messages
+	// never cross machines and the pool needs no synchronization.
+	m.pool = &coherence.MsgPool{}
+	for _, l1 := range m.l1s {
+		if t, ok := l1.(msgPoolTarget); ok {
+			t.SetMsgPool(m.pool)
+		}
+	}
+	for _, l2 := range m.l2s {
+		if t, ok := l2.(msgPoolTarget); ok {
+			t.SetMsgPool(m.pool)
+		}
+	}
+
+	// Active-set scheduler wiring: zero wake times make the first Step
+	// visit everything; deliveries pull the destination's wake forward.
+	m.smWake = make([]timing.Cycle, cfg.NumSMs)
+	m.l1Wake = make([]timing.Cycle, cfg.NumSMs)
+	m.l2Wake = make([]timing.Cycle, cfg.L2Partitions)
+	for _, l1 := range m.l1s {
+		if nt, ok := l1.(nextTicker); ok {
+			m.l1Next = append(m.l1Next, nt.NextTick)
+		} else {
+			m.l1Next = append(m.l1Next, l1.NextEvent)
+		}
+	}
+	m.network.SetWake(m.deliveryWake)
 	return m, nil
+}
+
+// nextTicker is implemented by controllers whose Tick does work at cycles
+// their NextEvent deliberately does not advertise (the RCC L1's livelock
+// tick fires whenever its deadline passes, but only unblocks progress —
+// and therefore only merits advancing idle time — while misses are
+// outstanding). The scheduler visits at NextTick and jumps by NextEvent.
+type nextTicker interface {
+	NextTick(now timing.Cycle) timing.Cycle
+}
+
+// deliveryWake re-arms the wake time of a component that just received a
+// message. L1s tick before the network within a cycle, so a delivery at
+// now is seen at now+1; L2s tick after the network and must run this very
+// cycle (their pipeline entry may already be due).
+func (m *Machine) deliveryWake(dst int, now timing.Cycle) {
+	if dst < m.cfg.NumSMs {
+		if now+1 < m.l1Wake[dst] {
+			m.l1Wake[dst] = now + 1
+		}
+		return
+	}
+	if p := dst - m.cfg.NumSMs; now < m.l2Wake[p] {
+		m.l2Wake[p] = now
+	}
+}
+
+// wakeAll pulls every component's wake time to at (rollover phase changes
+// freeze or thaw everything at once, outside any single component's own
+// event horizon). SMs whose L1 rejected a submit during the freeze are
+// woken explicitly so they retry.
+func (m *Machine) wakeAll(at timing.Cycle) {
+	for i, sm := range m.sms {
+		if at < m.smWake[i] {
+			m.smWake[i] = at
+		}
+		sm.Wake()
+	}
+	for i := range m.l1Wake {
+		if at < m.l1Wake[i] {
+			m.l1Wake[i] = at
+		}
+	}
+	for p := range m.l2Wake {
+		if at < m.l2Wake[p] {
+			m.l2Wake[p] = at
+		}
+	}
+}
+
+// msgPoolTarget is implemented by controllers that recycle coherence
+// messages through the machine's free list.
+type msgPoolTarget interface {
+	SetMsgPool(*coherence.MsgPool)
 }
 
 // bindSink wires the completion path from an L1 back to its SM.
@@ -184,14 +281,20 @@ func (m *Machine) Stats() *stats.Run { return m.st }
 func (m *Machine) Backing() *mem.Backing { return m.backing }
 
 // Done reports whether every warp retired and the memory system drained.
+// The result is latched: once done, always done (nothing re-injects work),
+// so steady-state calls are O(1). The network check runs first because it
+// is a single queue-length test and is almost always false mid-run.
 func (m *Machine) Done() bool {
+	if m.done {
+		return true
+	}
+	if !m.network.Drained() || m.roState != roIdle {
+		return false
+	}
 	for _, sm := range m.sms {
 		if !sm.Done() {
 			return false
 		}
-	}
-	if !m.network.Drained() {
-		return false
 	}
 	for _, l1 := range m.l1s {
 		if !l1.Drained() {
@@ -203,35 +306,57 @@ func (m *Machine) Done() bool {
 			return false
 		}
 	}
-	return m.roState == roIdle
+	m.done = true
+	return true
 }
 
 // Step advances the machine by one cycle (or one idle jump) and reports
-// whether any component did work.
+// whether any component did work. Only components whose wake time has
+// arrived are ticked; a skipped component's Tick is provably a no-op
+// returning false (its wake times are conservative), so the cycle-by-cycle
+// behaviour — including the sequence of visited cycles — is identical to
+// ticking everything.
 func (m *Machine) Step() bool {
 	now := m.now
 	m.tr.CycleReached(now)
 	did := false
-	for _, sm := range m.sms {
-		if sm.Tick(now) {
-			did = true
+	for i, sm := range m.sms {
+		if m.smWake[i] <= now {
+			if sm.Tick(now) {
+				did = true
+			}
+			m.smWake[i] = timing.Max(now+1, sm.NextEvent(now))
 		}
 	}
-	for _, l1 := range m.l1s {
-		if l1.Tick(now) {
-			did = true
+	for i, l1 := range m.l1s {
+		if m.l1Wake[i] <= now {
+			if l1.Tick(now) {
+				did = true
+				// Completions (MemDone) or an MSHR-free wake may have
+				// made the SM issuable again next cycle.
+				if now+1 < m.smWake[i] {
+					m.smWake[i] = now + 1
+				}
+			}
+			m.l1Wake[i] = timing.Max(now+1, m.l1Next[i](now))
 		}
 	}
+	// The network ticks unconditionally: it is a single heap check when
+	// idle, and its deliveries re-arm destination wake times.
 	if m.network.Tick(now) {
 		did = true
 	}
-	for _, l2 := range m.l2s {
-		if l2.Tick(now) {
-			did = true
+	for p, l2 := range m.l2s {
+		if m.l2Wake[p] <= now {
+			if l2.Tick(now) {
+				did = true
+			}
+			m.l2Wake[p] = timing.Max(now+1, l2.NextEvent(now))
 		}
 	}
 	if m.tickRollover(now) {
 		did = true
+		m.wakeAll(now + 1)
 	}
 
 	if did {
@@ -267,13 +392,17 @@ func (m *Machine) nextEvent(now timing.Cycle) timing.Cycle {
 // Run executes until completion and returns the final counters.
 func (m *Machine) Run() (*stats.Run, error) {
 	idleJumps := 0
-	for !m.Done() {
+	// Done is only re-evaluated after a Step that did work: an idle step
+	// changes nothing but the clock, so its doneness verdict cannot differ
+	// from the previous one.
+	done := m.Done()
+	for !done {
 		if m.cfg.MaxCycles > 0 && uint64(m.now) > m.cfg.MaxCycles {
 			return m.st, fmt.Errorf("sim: exceeded MaxCycles=%d (livelock or deadlock?)", m.cfg.MaxCycles)
 		}
-		did := m.Step()
-		if did {
+		if m.Step() {
 			idleJumps = 0
+			done = m.Done()
 			continue
 		}
 		idleJumps++
@@ -317,7 +446,7 @@ func (m *Machine) tickRollover(now timing.Cycle) bool {
 		// Everything quiesced: reset all L2 timestamps and start the
 		// flush round trip to the L1s.
 		for _, l2 := range m.rccL2s {
-			l2.ResetTimestamps()
+			l2.ResetTimestamps(now)
 		}
 		m.tr.Rollover(now, trace.RolloverReset, -1, 0)
 		flushRT := 2 * (timing.Cycle(m.cfg.NoCPipeLatency) +

@@ -5,7 +5,10 @@
 // used to model fixed-latency pipes.
 package timing
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Cycle is a point in simulated time, measured in GPU core clock cycles
 // (1.4 GHz in the default configuration).
@@ -91,6 +94,13 @@ func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64() | 1)
 }
 
+// ForkInto re-seeds dst as a child of r, producing the same stream as
+// Fork without allocating (the |1 keeps the seed off xorshift's zero
+// fixpoint, matching NewRNG's remap).
+func (r *RNG) ForkInto(dst *RNG) {
+	*dst = RNG{state: r.Uint64() | 1}
+}
+
 // Item is an element of a Queue: a payload that becomes visible at a
 // specific cycle.
 type Item[T any] struct {
@@ -139,6 +149,142 @@ func (q *Queue[T]) PopReady(now Cycle) (T, bool) {
 	q.items = q.items[:last]
 	if last > 0 {
 		q.down(0)
+	}
+	return v, true
+}
+
+// calBucket holds the items of one cycle. head indexes the next item to
+// pop; items[:head] have been consumed and are cleared.
+type calBucket[T any] struct {
+	items []T
+	head  int
+}
+
+// Calendar is a bucket ("calendar") queue: one FIFO bucket per cycle,
+// indexed by cycle modulo a power-of-two ring size. It pops items in
+// exactly the (ReadyAt, insertion-order) sequence a Queue would, but with
+// O(1) Push and amortized-O(1) PopReady, provided pending ready times span
+// less than the ring size (the ring grows on demand when they don't).
+// Use it for high-traffic pipes whose events sit a bounded distance in the
+// future — e.g. interconnect deliveries; keep Queue for tiny or unbounded-
+// horizon queues.
+type Calendar[T any] struct {
+	buckets []calBucket[T]
+	occ     []uint64 // occupancy bitmap, one bit per bucket
+	mask    int
+	next    Cycle // earliest nonempty bucket's cycle (undefined when empty)
+	maxAt   Cycle // latest pending cycle (undefined when empty)
+	count   int
+}
+
+// Len reports the number of queued items (ready or not).
+func (c *Calendar[T]) Len() int { return c.count }
+
+// NextReady returns the earliest ready time, or Never if empty.
+func (c *Calendar[T]) NextReady() Cycle {
+	if c.count == 0 {
+		return Never
+	}
+	return c.next
+}
+
+// Push inserts v so that it becomes visible at cycle at.
+func (c *Calendar[T]) Push(at Cycle, v T) {
+	if c.buckets == nil {
+		c.init(1024)
+	}
+	lo, hi := at, at
+	if c.count > 0 {
+		if c.next < lo {
+			lo = c.next
+		}
+		if c.maxAt > hi {
+			hi = c.maxAt
+		}
+	}
+	if hi-lo >= Cycle(len(c.buckets)) {
+		c.grow(lo, hi)
+	}
+	pos := int(at) & c.mask
+	b := &c.buckets[pos]
+	if len(b.items) == 0 {
+		c.occ[pos>>6] |= 1 << uint(pos&63)
+	}
+	b.items = append(b.items, v)
+	c.count++
+	c.next, c.maxAt = lo, hi
+}
+
+// init sizes the ring and seeds every bucket with a small slice carved
+// from one shared backing array, so the common ≤4-items-per-cycle case
+// never allocates per bucket.
+func (c *Calendar[T]) init(size int) {
+	const seedCap = 4
+	c.buckets = make([]calBucket[T], size)
+	c.occ = make([]uint64, size/64)
+	c.mask = size - 1
+	storage := make([]T, size*seedCap)
+	for i := range c.buckets {
+		c.buckets[i].items = storage[i*seedCap : i*seedCap : (i+1)*seedCap]
+	}
+}
+
+// grow reallocates the ring so that [lo, hi] fits, re-placing pending
+// items (their relative order within each cycle is preserved).
+func (c *Calendar[T]) grow(lo, hi Cycle) {
+	size := 1024
+	for Cycle(size) <= hi-lo {
+		size *= 2
+	}
+	old, oldMask := c.buckets, c.mask
+	c.init(size)
+	if c.count > 0 {
+		for cyc := c.next; cyc <= c.maxAt; cyc++ {
+			ob := &old[int(cyc)&oldMask]
+			if ob.head < len(ob.items) {
+				pos := int(cyc) & c.mask
+				nb := &c.buckets[pos]
+				nb.items = append(nb.items, ob.items[ob.head:]...)
+				c.occ[pos>>6] |= 1 << uint(pos&63)
+			}
+		}
+	}
+}
+
+// PopReady removes and returns the earliest item if it is ready at cycle
+// now. The second result reports whether an item was returned.
+func (c *Calendar[T]) PopReady(now Cycle) (T, bool) {
+	var zero T
+	if c.count == 0 || c.next > now {
+		return zero, false
+	}
+	pos := int(c.next) & c.mask
+	b := &c.buckets[pos]
+	v := b.items[b.head]
+	b.items[b.head] = zero
+	b.head++
+	c.count--
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+		c.occ[pos>>6] &^= 1 << uint(pos&63)
+		if c.count > 0 {
+			// Jump to the next occupied bucket via the bitmap. Pending
+			// cycles span less than the ring size, so the first set bit
+			// circularly after pos is the earliest pending cycle.
+			i := (pos + 1) & c.mask
+			w := i >> 6
+			word := c.occ[w] &^ (1<<uint(i&63) - 1)
+			for word == 0 {
+				w++
+				if w == len(c.occ) {
+					w = 0
+				}
+				word = c.occ[w]
+			}
+			bit := w<<6 + bits.TrailingZeros64(word)
+			c.next += 1 + Cycle((bit-i)&c.mask)
+		}
 	}
 	return v, true
 }

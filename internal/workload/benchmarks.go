@@ -39,8 +39,26 @@ func scaled(cfg config.Config, n int) int {
 
 // tb builds one warp's trace.
 type tb struct {
-	t   Trace
-	rng *timing.RNG
+	t     Trace
+	rng   *timing.RNG
+	arena []uint64 // backing for Lines slices, carved in bulk
+}
+
+// intern copies lines into the arena so the (usually stack-allocated)
+// variadic argument slices never escape to the heap.
+func (b *tb) intern(lines []uint64) []uint64 {
+	n := len(lines)
+	if len(b.arena) < n {
+		sz := 4096
+		if n > sz {
+			sz = n
+		}
+		b.arena = make([]uint64, sz)
+	}
+	s := b.arena[:n:n]
+	b.arena = b.arena[n:]
+	copy(s, lines)
+	return s
 }
 
 func (b *tb) compute(lat uint32) { b.t = append(b.t, Instr{Op: OpCompute, Lat: lat}) }
@@ -48,13 +66,13 @@ func (b *tb) local(lat uint32)   { b.t = append(b.t, Instr{Op: OpLocal, Lat: lat
 func (b *tb) fence()             { b.t = append(b.t, Instr{Op: OpFence}) }
 func (b *tb) barrier()           { b.t = append(b.t, Instr{Op: OpBarrier}) }
 func (b *tb) load(lines ...uint64) {
-	b.t = append(b.t, Instr{Op: OpLoad, Lines: lines})
+	b.t = append(b.t, Instr{Op: OpLoad, Lines: b.intern(lines)})
 }
 func (b *tb) store(val uint64, lines ...uint64) {
-	b.t = append(b.t, Instr{Op: OpStore, Lines: lines, Val: val})
+	b.t = append(b.t, Instr{Op: OpStore, Lines: b.intern(lines), Val: val})
 }
 func (b *tb) atomic(line uint64, operand uint64) {
-	b.t = append(b.t, Instr{Op: OpAtomic, Lines: []uint64{line}, Val: operand})
+	b.t = append(b.t, Instr{Op: OpAtomic, Lines: b.intern([]uint64{line}), Val: operand})
 }
 
 // loadDiv emits a divergent load touching k distinct-ish lines of r.
@@ -70,12 +88,23 @@ func (b *tb) loadDiv(r region, k int) {
 // independent of generation order.
 func build(cfg config.Config, rng *timing.RNG, gen func(b *tb, sm, warp int)) *Program {
 	p := &Program{SMs: make([][]Trace, cfg.NumSMs)}
+	// One builder reused across warps: the arena carries over, the RNG is
+	// re-seeded per warp (same stream as Fork), and each trace is
+	// pre-sized to the previous warp's length (warps are homogeneous, so
+	// the hint is exact after the first).
+	var wrng timing.RNG
+	b := &tb{rng: &wrng}
+	hint := 64
 	for sm := 0; sm < cfg.NumSMs; sm++ {
 		p.SMs[sm] = make([]Trace, cfg.WarpsPerSM)
 		for w := 0; w < cfg.WarpsPerSM; w++ {
-			b := &tb{rng: rng.Fork()}
+			rng.ForkInto(&wrng)
+			b.t = make(Trace, 0, hint)
 			gen(b, sm, w)
 			p.SMs[sm][w] = b.t
+			if len(b.t) > hint {
+				hint = len(b.t)
+			}
 		}
 	}
 	return p

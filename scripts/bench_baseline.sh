@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Record the simulator-performance baseline used to track the perf
+# trajectory across PRs. Runs BenchmarkSimulatorThroughput and
+# BenchmarkProtocols with allocation counting and writes the parsed
+# metrics as JSON (default: BENCH_0.json in the repo root).
+#
+# Usage: scripts/bench_baseline.sh [out.json]
+#
+# Regenerate on the machine whose numbers you want to compare against;
+# simCycles/s is host-dependent, allocs/op and B/op are not.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_0.json}"
+benchtime="${BENCHTIME:-3x}"
+
+raw="$(go test -run '^$' -bench 'SimulatorThroughput|Protocols' \
+	-benchtime "$benchtime" -benchmem .)"
+
+{
+	echo "{"
+	echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+	echo "  \"go\": \"$(go version | sed 's/"/\\"/g')\","
+	echo "  \"host\": \"$(uname -srm)\","
+	echo "  \"benchtime\": \"$benchtime\","
+	echo "  \"benchmarks\": ["
+	# Bench lines look like:
+	#   BenchmarkX-8  2  500000 ns/op  227826 simCycles/s  8627184 B/op  105463 allocs/op
+	# i.e. name, iteration count, then (value, unit) pairs.
+	printf '%s\n' "$raw" | awk '
+		/^Benchmark/ {
+			if (n++) printf ",\n"
+			printf "    {\"name\": \"%s\", \"iterations\": %s", $1, $2
+			for (i = 3; i < NF; i += 2)
+				printf ", \"%s\": %s", $(i + 1), $i
+			printf "}"
+		}
+		END { printf "\n" }'
+	echo "  ]"
+	echo "}"
+} >"$out"
+
+echo "wrote $out:"
+cat "$out"
