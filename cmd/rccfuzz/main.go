@@ -1,0 +1,185 @@
+// Command rccfuzz differentially fuzzes the coherence protocols for
+// sequential-consistency violations. Each seed becomes a random
+// concurrent program that runs under every SC-claiming protocol with
+// jittered NoC timing and the trace invariant checker armed; observed
+// load outcomes and final memory are validated against an exact
+// enumeration of the program's SC executions. The first failure is
+// delta-debugged to a minimal program and written as a replayable JSON
+// repro.
+//
+// Usage:
+//
+//	rccfuzz -seeds 1000 -j 8                 # fuzz seeds 0..999
+//	rccfuzz -repro rccfuzz-repro.json        # replay a saved failure
+//	rccfuzz -seeds 200 -weaken-lease 100000  # harness self-test: seeded bug
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rccsim/internal/check"
+	"rccsim/internal/config"
+	"rccsim/internal/core"
+)
+
+func main() {
+	var (
+		seeds     = flag.Int("seeds", 200, "number of fuzzing seeds to run")
+		start     = flag.Uint64("start", 0, "first seed")
+		workers   = flag.Int("j", runtime.NumCPU(), "parallel workers")
+		runs      = flag.Int("runs", 3, "timing-perturbed runs per protocol per seed")
+		protocols = flag.String("protocols", "MESI,TCS,RCC,SC-IDEAL", "comma-separated protocols to cross-check")
+		jitter    = flag.Uint64("jitter", 32, "max NoC latency jitter in cycles (0 disables)")
+		maxCycles = flag.Uint64("max-cycles", 5_000_000, "per-run cycle cap")
+		reproPath = flag.String("repro", "", "replay this repro JSON instead of fuzzing")
+		outPath   = flag.String("out", "rccfuzz-repro.json", "where to write the shrunk repro on failure")
+		verbose   = flag.Bool("v", false, "log every seed")
+		weaken    = flag.Uint64("weaken-lease", 0, "self-test: extend every L1 lease check by N cycles (plants an SC bug)")
+	)
+	flag.Parse()
+
+	if *weaken > 0 {
+		restore := core.WeakenLeaseCheckForTest(*weaken)
+		defer restore()
+		fmt.Fprintf(os.Stderr, "rccfuzz: L1 lease checks weakened by %d cycles (self-test mode)\n", *weaken)
+	}
+
+	opts := check.DefaultOptions()
+	opts.RunSeeds = *runs
+	opts.Jitter = *jitter
+	opts.MaxCycles = *maxCycles
+	opts.Protocols = nil
+	for _, name := range strings.Split(*protocols, ",") {
+		p, err := config.ParseProtocol(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rccfuzz: %v\n", err)
+			os.Exit(2)
+		}
+		if !p.SupportsSC() || p.Consistency() != config.SC {
+			fmt.Fprintf(os.Stderr, "rccfuzz: %s does not claim sequential consistency; the SC oracles do not apply\n", p)
+			os.Exit(2)
+		}
+		opts.Protocols = append(opts.Protocols, p)
+	}
+
+	if *reproPath != "" {
+		os.Exit(replay(*reproPath))
+	}
+	os.Exit(fuzz(*seeds, *start, *workers, *verbose, *outPath, opts))
+}
+
+func replay(path string) int {
+	r, err := check.ReadRepro(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rccfuzz: %v\n", err)
+		return 2
+	}
+	threads, ops := r.Prog.Shape()
+	fmt.Printf("replaying %s: seed %d, %d threads, %d ops\n%s", path, r.Seed, threads, ops, r.Prog)
+	fail, err := r.Replay()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rccfuzz: replay could not run: %v\n", err)
+		return 2
+	}
+	if fail == nil {
+		fmt.Println("repro did NOT reproduce: all runs sequentially consistent")
+		return 0
+	}
+	fmt.Printf("reproduced: %v\n", fail)
+	return 1
+}
+
+type hit struct {
+	seed uint64
+	prog *check.Prog
+	fail *check.Failure
+}
+
+// fuzz runs seeds [start, start+n) across a worker pool. Workers race to
+// the first failure; the lowest failing seed wins so runs are reproducible
+// regardless of scheduling, then that failure is shrunk and written out.
+func fuzz(n int, start uint64, workers int, verbose bool, outPath string, opts check.Options) int {
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		next    atomic.Uint64 // index into the seed range
+		skipped atomic.Uint64 // enumeration-limit skips
+		mu      sync.Mutex
+		first   *hit
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= uint64(n) {
+					return
+				}
+				seed := start + i
+				mu.Lock()
+				stop := first != nil && first.seed < seed
+				mu.Unlock()
+				if stop {
+					return
+				}
+				prog, fail, err := check.FuzzSeed(seed, opts)
+				switch {
+				case err != nil:
+					skipped.Add(1)
+					if verbose {
+						fmt.Fprintf(os.Stderr, "seed %d: skipped (%v)\n", seed, err)
+					}
+				case fail != nil:
+					mu.Lock()
+					if first == nil || seed < first.seed {
+						first = &hit{seed: seed, prog: prog, fail: fail}
+					}
+					mu.Unlock()
+				default:
+					if verbose {
+						fmt.Fprintf(os.Stderr, "seed %d: ok\n", seed)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if first == nil {
+		fmt.Printf("rccfuzz: %d seeds clean (%d skipped at enumeration limits) across %s\n",
+			n, skipped.Load(), protoNames(opts))
+		return 0
+	}
+
+	fmt.Printf("rccfuzz: seed %d FAILED: %v\n", first.seed, first.fail)
+	threads, ops := first.prog.Shape()
+	fmt.Printf("shrinking from %d threads / %d ops...\n", threads, ops)
+	small, fail := check.Shrink(first.prog, first.fail, opts)
+	threads, ops = small.Shape()
+	fmt.Printf("minimal repro (%d threads, %d ops):\n%s", threads, ops, small)
+	fmt.Printf("failure: %v\n", fail)
+	repro := check.NewRepro(first.seed, small, fail, opts)
+	if err := check.WriteRepro(outPath, repro); err != nil {
+		fmt.Fprintf(os.Stderr, "rccfuzz: writing repro: %v\n", err)
+	} else {
+		fmt.Printf("repro written to %s (replay with: rccfuzz -repro %s)\n", outPath, outPath)
+	}
+	return 1
+}
+
+func protoNames(opts check.Options) string {
+	names := make([]string, len(opts.Protocols))
+	for i, p := range opts.Protocols {
+		names[i] = p.String()
+	}
+	return strings.Join(names, ",")
+}

@@ -1,0 +1,157 @@
+package check
+
+import (
+	"rccsim/internal/timing"
+	"rccsim/internal/workload"
+)
+
+// GenConfig shapes the random program generator. The access budget is the
+// lever that keeps the exact SC enumeration tractable: the interleaving
+// space grows multinomially in the number of line-accesses, so the
+// generator spends a global budget rather than a per-thread op count.
+type GenConfig struct {
+	MaxThreads   int     // threads per program (at least 2 are generated)
+	MaxOpsPerThr int     // memory/fence/compute ops per thread
+	MaxLines     int     // distinct shared lines
+	AccessBudget int     // total line-accesses across the whole program
+	NumSMs       int     // placement grid: SMs
+	WarpsPerSM   int     // placement grid: warps per SM
+	PStore       float64 // P(store | plain access)
+	PAtomic      float64 // P(atomic) per memory op
+	PDivergent   float64 // P(two-line divergent access) for loads/stores
+	PFence       float64 // P(fence) per op slot
+	PCompute     float64 // P(compute) per op slot
+	PBarrier     float64 // P(an SM group gets a barrier phase)
+}
+
+// DefaultGenConfig balances contention (few lines, few threads) against
+// enumerability (a dozen line-accesses). The 3x3 placement grid makes
+// same-SM pairs (shared L1, threadblock barriers) and cross-SM pairs
+// (L2-mediated communication) both common.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxThreads:   4,
+		MaxOpsPerThr: 5,
+		MaxLines:     3,
+		AccessBudget: 12,
+		NumSMs:       3,
+		WarpsPerSM:   3,
+		PStore:       0.5,
+		PAtomic:      0.15,
+		PDivergent:   0.25,
+		PFence:       0.1,
+		PCompute:     0.15,
+		PBarrier:     0.35,
+	}
+}
+
+// Generate builds a random well-formed program, deterministic in seed.
+// Every program it returns satisfies Prog.WellFormed; tests assert this.
+func Generate(seed uint64, gc GenConfig) *Prog {
+	rng := timing.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	p := &Prog{Lines: 2 + rng.Intn(gc.MaxLines-1)}
+
+	// Place threads on distinct (SM, warp) slots by sampling a shuffled
+	// grid prefix.
+	slots := make([][2]int, 0, gc.NumSMs*gc.WarpsPerSM)
+	for sm := 0; sm < gc.NumSMs; sm++ {
+		for w := 0; w < gc.WarpsPerSM; w++ {
+			slots = append(slots, [2]int{sm, w})
+		}
+	}
+	for i := len(slots) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		slots[i], slots[j] = slots[j], slots[i]
+	}
+	nthreads := 2 + rng.Intn(gc.MaxThreads-1)
+	if nthreads > gc.AccessBudget {
+		nthreads = gc.AccessBudget
+	}
+	if nthreads > len(slots) {
+		nthreads = len(slots)
+	}
+
+	budget := gc.AccessBudget
+	val := uint64(0)
+	for t := 0; t < nthreads; t++ {
+		th := Thread{SM: slots[t][0], Warp: slots[t][1]}
+		nops := 1 + rng.Intn(gc.MaxOpsPerThr)
+		for len(th.Ops) < nops && budget > 0 {
+			r := rng.Float64()
+			switch {
+			case r < gc.PFence:
+				th.Ops = append(th.Ops, Op{Kind: workload.OpFence})
+			case r < gc.PFence+gc.PCompute:
+				th.Ops = append(th.Ops, Op{Kind: workload.OpCompute, Lat: uint32(rng.Intn(40) + 1)})
+			case r < gc.PFence+gc.PCompute+gc.PAtomic:
+				val++
+				th.Ops = append(th.Ops, Op{
+					Kind:  workload.OpAtomic,
+					Lines: []uint64{uint64(rng.Intn(p.Lines))},
+					Val:   val,
+				})
+				budget--
+			default:
+				lines := []uint64{uint64(rng.Intn(p.Lines))}
+				if budget >= 2 && p.Lines >= 2 && rng.Bool(gc.PDivergent) {
+					for {
+						l := uint64(rng.Intn(p.Lines))
+						if l != lines[0] {
+							lines = append(lines, l)
+							break
+						}
+					}
+				}
+				op := Op{Kind: workload.OpLoad, Lines: lines}
+				if rng.Bool(gc.PStore) {
+					val++
+					op.Kind = workload.OpStore
+					op.Val = val
+				}
+				th.Ops = append(th.Ops, op)
+				budget -= len(lines)
+			}
+		}
+		if len(th.Ops) == 0 {
+			// Budget ran dry before this thread got a memory op; give it
+			// a harmless load so the thread is non-empty.
+			th.Ops = append(th.Ops, Op{Kind: workload.OpLoad, Lines: []uint64{uint64(rng.Intn(p.Lines))}})
+		}
+		p.Threads = append(p.Threads, th)
+	}
+
+	// Barrier phases: per SM group, optionally thread one barrier through
+	// every thread on that SM. Counts must match within a group (that is
+	// what the machine's threadblock barrier and the enumerator's release
+	// rule key on); positions are free, so each thread picks a random
+	// non-final insertion point.
+	bySM := make(map[int][]int)
+	for ti, th := range p.Threads {
+		bySM[th.SM] = append(bySM[th.SM], ti)
+	}
+	sms := make([]int, 0, len(bySM))
+	for sm := range bySM {
+		sms = append(sms, sm)
+	}
+	// Deterministic iteration order: slots were consumed grid-major then
+	// shuffled, so sort the SM ids before rolling the dice.
+	for i := 0; i < len(sms); i++ {
+		for j := i + 1; j < len(sms); j++ {
+			if sms[j] < sms[i] {
+				sms[i], sms[j] = sms[j], sms[i]
+			}
+		}
+	}
+	for _, sm := range sms {
+		if !rng.Bool(gc.PBarrier) {
+			continue
+		}
+		for _, ti := range bySM[sm] {
+			ops := p.Threads[ti].Ops
+			at := rng.Intn(len(ops)) // 0..len-1: never after the last op
+			ops = append(ops[:at:at], append([]Op{{Kind: workload.OpBarrier}}, ops[at:]...)...)
+			p.Threads[ti].Ops = ops
+		}
+	}
+	return p
+}

@@ -1,0 +1,166 @@
+package check
+
+import (
+	"rccsim/internal/workload"
+)
+
+// maxShrinkEvals bounds the differential re-checks one shrink spends; each
+// evaluation reruns every (protocol, seed) pair, so this dominates shrink
+// time.
+const maxShrinkEvals = 400
+
+// Shrink delta-debugs a failing program to a smaller one that still
+// trips an oracle. Reductions, greedily to fixpoint: drop whole threads,
+// drop single operations (a barrier is dropped as a column — the same
+// ordinal from every thread of its SM group, preserving alignment), and
+// collapse divergent accesses to single lines. Any oracle violation
+// accepts a candidate, not just the original kind: a shrink that turns a
+// final-memory mismatch into a deadlock is still the same investigation.
+//
+// orig is the failure that triggered the shrink; it is returned unchanged
+// if no reduction reproduces (timing-dependent failures can be flaky, and
+// the original program is then the best repro available).
+func Shrink(p *Prog, orig *Failure, opts Options) (*Prog, *Failure) {
+	best, bestFail := p.Clone(), orig
+	evals := 0
+	accept := func(c *Prog) *Failure {
+		if evals >= maxShrinkEvals || c == nil || len(c.Threads) == 0 {
+			return nil
+		}
+		if c.WellFormed() != nil {
+			return nil
+		}
+		evals++
+		f, err := CheckProg(c, opts)
+		if err != nil {
+			return nil
+		}
+		return f
+	}
+	for evals < maxShrinkEvals {
+		c, f := shrinkStep(best, accept)
+		if c == nil {
+			break
+		}
+		best, bestFail = c, f
+	}
+	return best, bestFail
+}
+
+// shrinkStep returns the first accepted reduction of p, or nil when every
+// candidate passes (p is locally minimal).
+func shrinkStep(p *Prog, accept func(*Prog) *Failure) (*Prog, *Failure) {
+	// Whole threads first: the biggest single cut.
+	if len(p.Threads) > 1 {
+		for ti := range p.Threads {
+			c := p.Clone()
+			c.Threads = append(c.Threads[:ti], c.Threads[ti+1:]...)
+			clean(c)
+			if f := accept(c); f != nil {
+				return c, f
+			}
+		}
+	}
+	// Single operations.
+	for ti := range p.Threads {
+		for oi := range p.Threads[ti].Ops {
+			c := p.Clone()
+			removeOp(c, ti, oi)
+			clean(c)
+			if f := accept(c); f != nil {
+				return c, f
+			}
+		}
+	}
+	// Divergent accesses down to one line.
+	for ti := range p.Threads {
+		for oi, op := range p.Threads[ti].Ops {
+			if len(op.Lines) < 2 {
+				continue
+			}
+			for li := range op.Lines {
+				c := p.Clone()
+				c.Threads[ti].Ops[oi].Lines = []uint64{op.Lines[li]}
+				if f := accept(c); f != nil {
+					return c, f
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// removeOp deletes operation oi of thread ti. A barrier is removed as a
+// column: the same ordinal from every thread on the SM, keeping per-group
+// barrier counts equal.
+func removeOp(p *Prog, ti, oi int) {
+	if p.Threads[ti].Ops[oi].Kind == workload.OpBarrier {
+		ord := 0
+		for _, op := range p.Threads[ti].Ops[:oi] {
+			if op.Kind == workload.OpBarrier {
+				ord++
+			}
+		}
+		dropBarrierColumn(p, p.Threads[ti].SM, ord)
+		return
+	}
+	ops := p.Threads[ti].Ops
+	p.Threads[ti].Ops = append(ops[:oi:oi], ops[oi+1:]...)
+}
+
+// dropBarrierColumn removes the ord-th barrier from every thread on sm.
+func dropBarrierColumn(p *Prog, sm, ord int) {
+	for ti := range p.Threads {
+		if p.Threads[ti].SM != sm {
+			continue
+		}
+		seen := 0
+		for oi, op := range p.Threads[ti].Ops {
+			if op.Kind != workload.OpBarrier {
+				continue
+			}
+			if seen == ord {
+				ops := p.Threads[ti].Ops
+				p.Threads[ti].Ops = append(ops[:oi:oi], ops[oi+1:]...)
+				break
+			}
+			seen++
+		}
+	}
+}
+
+// clean restores well-formedness invariants a reduction can break: empty
+// threads are dropped, and a thread left ending on a barrier loses that
+// trailing barrier (as a column, so its group stays aligned).
+func clean(p *Prog) {
+	for {
+		changed := false
+		kept := p.Threads[:0]
+		for _, th := range p.Threads {
+			if len(th.Ops) == 0 {
+				changed = true
+				continue
+			}
+			kept = append(kept, th)
+		}
+		p.Threads = kept
+		for ti := range p.Threads {
+			ops := p.Threads[ti].Ops
+			if ops[len(ops)-1].Kind != workload.OpBarrier {
+				continue
+			}
+			nbar := 0
+			for _, op := range ops {
+				if op.Kind == workload.OpBarrier {
+					nbar++
+				}
+			}
+			dropBarrierColumn(p, p.Threads[ti].SM, nbar-1)
+			changed = true
+			break // thread slice mutated; rescan
+		}
+		if !changed {
+			return
+		}
+	}
+}

@@ -27,8 +27,17 @@ type l1Line struct {
 
 type l1MSHR struct {
 	getsOut bool
-	loads   []*coherence.Request
-	stores  []*coherence.Request
+	// squash poisons the in-flight fill: a local store (or an SC-IDEAL
+	// zap) hit this line after the GetS left, so the data coming back
+	// predates the store. Installing it would plant a stale copy the
+	// directory no longer tracks (the writer's sharer bit is cleared on
+	// the assumption the L1 self-invalidated). The poisoned fill is
+	// discarded and the GetS retried; the retry is ordered behind the
+	// store at the L2, so every queued load observes the new value —
+	// always a legal SC ordering for a load still in flight.
+	squash bool
+	loads  []*coherence.Request
+	stores []*coherence.Request
 }
 
 func (m *l1MSHR) empty() bool { return len(m.loads) == 0 && len(m.stores) == 0 }
@@ -87,10 +96,15 @@ func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
 }
 
-// Zap invalidates a line with no message exchange (SC-IDEAL only).
+// Zap invalidates a line with no message exchange (SC-IDEAL only). A fill
+// already in flight predates the zapping write and must not install — nor
+// serve loads, which may have issued after the write performed.
 func (c *L1) Zap(line uint64) {
 	if e := c.tags.Lookup(line); e != nil {
 		c.tags.Invalidate(e)
+	}
+	if m := c.mshrs.Get(line); m != nil && m.getsOut {
+		m.squash = true
 	}
 }
 
@@ -149,9 +163,13 @@ func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
 		c.st.L1Stores++
 	}
 	// Write-through, no-allocate: the local copy is stale the moment the
-	// store issues.
+	// store issues — including a copy still in flight, which must not
+	// install when it lands.
 	if e := c.tags.Lookup(r.Line); e != nil {
 		c.tags.Invalidate(e)
+	}
+	if m.getsOut {
+		m.squash = true
 	}
 	m.stores = append(m.stores, r)
 	typ := coherence.Write
@@ -230,6 +248,43 @@ func (c *L1) handle(m *coherence.Msg, now timing.Cycle) {
 }
 
 func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
+	if mshr := c.mshrs.Get(m.Line); mshr != nil && mshr.squash {
+		// The fill predates a local store: discard it and refetch. The
+		// retried GetS is ordered behind the store's write at the L2.
+		mshr.squash = false
+		mshr.getsOut = false
+		c.tr.L1State(now, c.id, m.Line, "fill-squashed")
+		if len(mshr.loads) > 0 {
+			mshr.getsOut = true
+			gets := c.pool.Get()
+			*gets = coherence.Msg{
+				Type: coherence.GetS,
+				Line: m.Line,
+				Src:  c.id,
+				Dst:  c.l2node(m.Line),
+			}
+			c.port.Send(gets, now)
+		} else if mshr.empty() {
+			c.mshrs.Free(m.Line)
+		}
+		return
+	}
+	if mshr := c.mshrs.Get(m.Line); mshr != nil && len(mshr.stores) > 0 {
+		// A local store/atomic to this line is still outstanding. The fill
+		// was requested after it issued, so its value is the L2-ordered
+		// pre-write image — legal for the sibling warps waiting in
+		// mshr.loads (they are unordered with the writer), but not safe to
+		// install: the directory strips the writer's own sharer bit, so the
+		// copy would be stale and untracked the moment the write performs.
+		c.tr.L1State(now, c.id, m.Line, "fill-bypassed")
+		mshr.getsOut = false
+		for _, r := range mshr.loads {
+			r.Data = m.Val
+			c.sink.MemDone(r, now)
+		}
+		mshr.loads = mshr.loads[:0]
+		return
+	}
 	e, victim, ok := c.tags.Allocate(m.Line, func(v *mem.Entry[l1Line]) bool {
 		return c.mshrs.Get(v.Tag) == nil
 	})
@@ -723,6 +778,16 @@ func (c *L2) recall(line, sharers uint64, now timing.Cycle) {
 			c.port.Send(inv, now)
 		}
 	}
+}
+
+// Peek returns the current value of line if the block is resident — the
+// authoritative copy, since MESI L1s here are write-through (differential
+// checker's final-memory oracle).
+func (c *L2) Peek(line uint64) (uint64, bool) {
+	if e := c.tags.Lookup(line); e != nil {
+		return e.Meta.Val, true
+	}
+	return 0, false
 }
 
 // NextEvent implements coherence.L2.

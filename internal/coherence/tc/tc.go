@@ -672,6 +672,16 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 	}
 }
 
+// Peek returns the current value of line if the block is resident — the
+// authoritative copy, since TC L1s are write-through (differential
+// checker's final-memory oracle).
+func (c *L2) Peek(line uint64) (uint64, bool) {
+	if e := c.tags.Lookup(line); e != nil {
+		return e.Meta.Val, true
+	}
+	return 0, false
+}
+
 // NextEvent implements coherence.L2.
 func (c *L2) NextEvent(now timing.Cycle) timing.Cycle {
 	next := timing.Min(c.dram.NextEvent(), c.pipe.NextReady())

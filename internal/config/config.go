@@ -4,7 +4,10 @@
 // crossbar interconnect with 32-bit flits, and GDDR timing parameters.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Protocol selects the coherence protocol (and implicitly which controller
 // pair drives the L1s and L2 partitions).
@@ -32,6 +35,22 @@ const (
 	// free and immediate); only the raw L2/DRAM round trips remain.
 	SCIdeal
 )
+
+// Protocols returns every protocol, in the paper's figure order.
+func Protocols() []Protocol {
+	return []Protocol{MESI, TCS, TCW, RCC, RCCWO, SCIdeal}
+}
+
+// ParseProtocol maps a figure name ("RCC", "TCS", "MESI", "TCW",
+// "RCC-WO", "SC-IDEAL"; case-insensitive) back to the Protocol.
+func ParseProtocol(s string) (Protocol, error) {
+	for _, p := range Protocols() {
+		if strings.EqualFold(s, p.String()) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown protocol %q", s)
+}
 
 // String returns the name used in the paper's figures.
 func (p Protocol) String() string {
@@ -151,6 +170,12 @@ type Config struct {
 	FlitBytes         int
 	PortFlitsPerCycle int    // flits a port moves per core cycle
 	NoCPipeLatency    uint64 // core cycles of router/wire pipeline per message
+	// NoCJitter adds a per-message pseudo-random 0..NoCJitter cycles to
+	// the router pipeline, drawn from a stream seeded by Seed. Zero (the
+	// default, used by every performance experiment) disables it; the
+	// differential fuzzer turns it on to widen the explored interleavings
+	// while keeping runs bit-deterministic per (config, seed).
+	NoCJitter uint64
 
 	// DRAM (per L2 partition; GDDR at 1:1 with the 1.4 GHz core clock).
 	DRAMBanksPerPart int

@@ -106,10 +106,27 @@ func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
 }
 
+// leaseSlackForTest widens every RCC L1 lease check by the given number of
+// logical ticks, letting a core keep reading a copy the protocol says has
+// expired. It exists solely so the differential fuzzer's mutation
+// self-test can prove it catches a real coherence bug; it is zero in any
+// correct build. Set it via WeakenLeaseCheckForTest.
+var leaseSlackForTest uint64
+
+// WeakenLeaseCheckForTest installs a deliberate protocol bug: L1 copies
+// stay readable for slack extra logical ticks past their lease expiration.
+// It returns a func restoring the correct behaviour. Not safe to call
+// while machines are running (plain global, read on the L1 hit path).
+func WeakenLeaseCheckForTest(slack uint64) (restore func()) {
+	prev := leaseSlackForTest
+	leaseSlackForTest = slack
+	return func() { leaseSlackForTest = prev }
+}
+
 // readable reports whether the tag entry holds a valid, unexpired copy at
 // the core's current read view.
 func (c *L1) readable(e *mem.Entry[l1Line]) bool {
-	return e != nil && c.clk.ReadNow() <= e.Meta.Exp
+	return e != nil && c.clk.ReadNow() <= e.Meta.Exp+leaseSlackForTest
 }
 
 // Access implements coherence.L1.

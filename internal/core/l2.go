@@ -585,6 +585,17 @@ type BlockMeta struct {
 	Pred          uint64
 }
 
+// Peek returns the current value of line if the block is resident — the
+// authoritative copy, since L1s are write-through. Used by the
+// differential checker's final-memory oracle; a drained machine has no
+// merged writes pending in MSHRs, so residency fully determines the value.
+func (c *L2) Peek(line uint64) (uint64, bool) {
+	if e := c.tags.Lookup(line); e != nil {
+		return e.Meta.Val, true
+	}
+	return 0, false
+}
+
 // Meta returns the metadata of line, or the zero value if absent.
 func (c *L2) Meta(line uint64) BlockMeta {
 	e := c.tags.Lookup(line)

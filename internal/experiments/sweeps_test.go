@@ -94,9 +94,14 @@ func TestTSBitsSweep(t *testing.T) {
 	if rows[1].Rollovers != 0 {
 		t.Error("32-bit timestamps rolled over in a tiny run")
 	}
-	// Rollover costs cycles.
-	if rows[0].Cycles <= rows[1].Cycles {
-		t.Errorf("rollovers were free: %d <= %d", rows[0].Cycles, rows[1].Cycles)
+	// Rollover costs stall cycles. (Total cycle counts of two runs this
+	// small differ by scheduling noise larger than the rollover cost, so
+	// compare the direct stall counter, not end-to-end cycles.)
+	if rows[0].Stall == 0 {
+		t.Error("13-bit rollovers stalled nothing")
+	}
+	if rows[1].Stall != 0 {
+		t.Errorf("32-bit run reported %d rollover stall cycles", rows[1].Stall)
 	}
 }
 

@@ -388,6 +388,12 @@ func (s *SM) scBlocked(w *warp) bool {
 	switch w.nextOp {
 	case workload.OpLocal, workload.OpLoad, workload.OpStore, workload.OpAtomic:
 		return true
+	case workload.OpBarrier:
+		// The threadblock barrier orders this warp's pre-barrier accesses
+		// before every other warp's post-barrier accesses; arriving with a
+		// global access in flight would let a sibling's post-barrier store
+		// overtake it and break SC across the barrier.
+		return true
 	}
 	return false
 }
@@ -441,6 +447,9 @@ func (s *SM) tryIssue(w *warp, now timing.Cycle) bool {
 		return s.issueFence(w, now)
 
 	case workload.OpBarrier:
+		if s.sc && w.outstanding > 0 {
+			return false // unreachable from the masked scan, see scBlocked
+		}
 		w.atBarrier = true
 		s.st.Instructions++
 		w.pc++ // pc advances now; release gates on atBarrier

@@ -39,6 +39,12 @@ type Network struct {
 
 	inflight timing.Calendar[*coherence.Msg]
 
+	// Seeded per-message pipeline jitter (cfg.NoCJitter); nil when
+	// disabled. Draws happen in Send order, which is deterministic, so a
+	// given (config, seed) still produces a bit-identical run.
+	jitter    *timing.RNG
+	jitterMax uint64
+
 	// last is the cycle of the most recent Tick; deliveries during a Tick
 	// pass the previous tick's cycle so receivers that already ticked this
 	// cycle timestamp pipeline entry exactly as if they tracked it.
@@ -52,7 +58,7 @@ type Network struct {
 // New builds the interconnect for cfg.
 func New(cfg config.Config, st *stats.Run) *Network {
 	total := cfg.NumSMs + cfg.L2Partitions
-	return &Network{
+	n := &Network{
 		cfg:        cfg,
 		st:         st,
 		nodes:      make([]Node, total),
@@ -61,6 +67,11 @@ func New(cfg config.Config, st *stats.Run) *Network {
 		rspSrcFree: make([]timing.Cycle, cfg.L2Partitions),
 		rspDstFree: make([]timing.Cycle, cfg.NumSMs),
 	}
+	if cfg.NoCJitter > 0 {
+		n.jitter = timing.NewRNG(cfg.Seed ^ 0xa24baed4963ee407)
+		n.jitterMax = cfg.NoCJitter
+	}
+	return n
 }
 
 // Register attaches the receiver for node id.
@@ -79,6 +90,9 @@ func (n *Network) Send(m *coherence.Msg, now timing.Cycle) {
 
 	ser := n.serialization(flits)
 	pipe := timing.Cycle(n.cfg.NoCPipeLatency)
+	if n.jitterMax > 0 {
+		pipe += timing.Cycle(n.jitter.Uint64n(n.jitterMax + 1))
+	}
 
 	var srcFree, dstFree *timing.Cycle
 	if m.Src < n.cfg.NumSMs {

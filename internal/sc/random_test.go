@@ -1,0 +1,132 @@
+package sc
+
+import (
+	"reflect"
+	"testing"
+
+	"rccsim/internal/timing"
+)
+
+func TestRandomLitmusWellFormed(t *testing.T) {
+	rng := timing.NewRNG(11)
+	for trial := 0; trial < 200; trial++ {
+		threads, ops, lines := 2+rng.Intn(3), 1+rng.Intn(4), 1+rng.Intn(3)
+		l := RandomLitmus(rng, threads, ops, lines)
+		if len(l.Threads) != threads {
+			t.Fatalf("trial %d: %d threads, want %d", trial, len(l.Threads), threads)
+		}
+		vals := make(map[uint64]bool)
+		for ti, tops := range l.Threads {
+			if len(tops) != ops {
+				t.Fatalf("trial %d: thread %d has %d ops, want %d", trial, ti, len(tops), ops)
+			}
+			for _, op := range tops {
+				if op.Line >= uint64(lines) {
+					t.Fatalf("trial %d: line %d out of range %d", trial, op.Line, lines)
+				}
+				if op.Store {
+					if op.Val == 0 {
+						t.Fatalf("trial %d: zero store value", trial)
+					}
+					if vals[op.Val] {
+						t.Fatalf("trial %d: duplicate store value %d", trial, op.Val)
+					}
+					vals[op.Val] = true
+				} else if op.Val != 0 {
+					t.Fatalf("trial %d: load carries value %d", trial, op.Val)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomLitmusDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a := RandomLitmus(timing.NewRNG(seed), 3, 3, 2)
+		b := RandomLitmus(timing.NewRNG(seed), 3, 3, 2)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: RandomLitmus not deterministic", seed)
+		}
+	}
+}
+
+// scRefRun executes the litmus atomically under one concrete interleaving
+// chosen by rng and returns each thread's observed load values in program
+// order. This is an independent reference executor: the outcome it
+// produces must be a member of SCOutcomes, and feeding the same values to
+// a Recorder in completion order must reproduce the exact outcome key.
+func scRefRun(l Litmus, rng *timing.RNG) map[int][]uint64 {
+	pc := make([]int, len(l.Threads))
+	mem := map[uint64]uint64{}
+	obs := make(map[int][]uint64)
+	for {
+		var live []int
+		for tid := range l.Threads {
+			if pc[tid] < len(l.Threads[tid]) {
+				live = append(live, tid)
+			}
+		}
+		if len(live) == 0 {
+			return obs
+		}
+		tid := live[rng.Intn(len(live))]
+		op := l.Threads[tid][pc[tid]]
+		pc[tid]++
+		if op.Store {
+			mem[op.Line] = op.Val
+		} else {
+			obs[tid] = append(obs[tid], mem[op.Line])
+		}
+	}
+}
+
+// TestRecorderEnumeratorAgreement drives a Recorder with the loads of a
+// reference SC execution, delivered in the same per-thread order the
+// machine completes them, and checks the assembled outcome key is exactly
+// one SCOutcomes enumerated. This pins the key format the simulation
+// tests rely on: thread-major slots, program order within a thread.
+func TestRecorderEnumeratorAgreement(t *testing.T) {
+	rng := timing.NewRNG(23)
+	const maxWarps = 4
+	for trial := 0; trial < 100; trial++ {
+		l := RandomLitmus(rng, 3, 3, 2)
+		allowed := SCOutcomes(l)
+		obs := scRefRun(l, rng)
+
+		rec := NewRecorder(maxWarps)
+		var placement [][2]int
+		for tid := range l.Threads {
+			sm, warp := tid%2, tid/2 // mixed same-SM / cross-SM placement
+			placement = append(placement, [2]int{sm, warp})
+			for _, v := range obs[tid] {
+				rec.LoadObserved(sm, warp, 0, 0, v)
+			}
+		}
+		got := rec.OutcomeFor(placement)
+		if !allowed[got] {
+			t.Fatalf("trial %d: recorder outcome %q not in the %d SC outcomes\nlitmus: %v",
+				trial, got, len(allowed), l.Threads)
+		}
+	}
+}
+
+// TestSCOutcomesKnownSets pins the enumerator on the classic tests.
+func TestSCOutcomesKnownSets(t *testing.T) {
+	sb := SCOutcomes(StoreBuffering())
+	if sb[Outcome("0,0")] {
+		t.Fatal("SC enumeration allows SB 0,0")
+	}
+	for _, want := range []Outcome{"1,0", "0,1", "1,1"} {
+		if !sb[want] {
+			t.Fatalf("SC enumeration missing SB outcome %s", want)
+		}
+	}
+	mp := SCOutcomes(MessagePassing())
+	if mp[Outcome("1,0")] {
+		t.Fatal("SC enumeration allows MP done=1,data=0")
+	}
+	lb := SCOutcomes(LoadBuffering())
+	if lb[Outcome("1,1")] {
+		t.Fatal("SC enumeration allows LB 1,1")
+	}
+}

@@ -280,6 +280,27 @@ func (m *Machine) Stats() *stats.Run { return m.st }
 // Backing returns the DRAM value image (tests inspect final memory).
 func (m *Machine) Backing() *mem.Backing { return m.backing }
 
+// linePeeker is implemented by L2 controllers that expose the current
+// value of a resident line (the differential checker's memory oracle).
+type linePeeker interface {
+	Peek(line uint64) (uint64, bool)
+}
+
+// ReadLine returns the current value of a line as the memory system sees
+// it: the owning L2 partition's copy when resident (the L2s are write-back,
+// so a dirty block may never have reached DRAM), otherwise the backing
+// image. Meaningful on a drained machine; mid-run it ignores in-flight
+// writes.
+func (m *Machine) ReadLine(line uint64) uint64 {
+	p := coherence.PartitionOf(line, m.cfg.L2Partitions)
+	if pk, ok := m.l2s[p].(linePeeker); ok {
+		if v, ok := pk.Peek(line); ok {
+			return v
+		}
+	}
+	return m.backing.Read(line)
+}
+
 // Done reports whether every warp retired and the memory system drained.
 // The result is latched: once done, always done (nothing re-injects work),
 // so steady-state calls are O(1). The network check runs first because it
@@ -398,6 +419,7 @@ func (m *Machine) Run() (*stats.Run, error) {
 	done := m.Done()
 	for !done {
 		if m.cfg.MaxCycles > 0 && uint64(m.now) > m.cfg.MaxCycles {
+			m.st.Cycles = uint64(m.now)
 			return m.st, fmt.Errorf("sim: exceeded MaxCycles=%d (livelock or deadlock?)", m.cfg.MaxCycles)
 		}
 		if m.Step() {
@@ -407,6 +429,7 @@ func (m *Machine) Run() (*stats.Run, error) {
 		}
 		idleJumps++
 		if idleJumps > 1000 {
+			m.st.Cycles = uint64(m.now)
 			return m.st, errors.New("sim: machine idle but not done (protocol deadlock)")
 		}
 	}

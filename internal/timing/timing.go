@@ -62,20 +62,31 @@ func (r *RNG) Uint64() uint64 {
 	return x * 0x2545f4914f6cdd1d
 }
 
-// Intn returns a value in [0, n). It panics if n <= 0.
+// Intn returns a uniformly distributed value in [0, n). It panics if
+// n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("timing: Intn called with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	return int(r.Uint64n(uint64(n)))
 }
 
-// Uint64n returns a value in [0, n). It panics if n == 0.
+// Uint64n returns a uniformly distributed value in [0, n). It panics if
+// n == 0. The reduction is Lemire's multiply-shift with the rejection
+// step, so no residue is over-represented (a plain modulo biases low
+// residues for any n that does not divide 2^64).
 func (r *RNG) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("timing: Uint64n called with zero n")
 	}
-	return r.Uint64() % n
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n // (2^64 - n) mod n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
 }
 
 // Float64 returns a value in [0, 1).

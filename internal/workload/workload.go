@@ -173,6 +173,18 @@ func ByName(name string) (Benchmark, bool) {
 }
 
 // Generate builds the program for b under cfg (deterministic in cfg.Seed).
+// The per-benchmark stream is derived from an FNV-1a hash of the full name:
+// seeding by the name's length (as earlier versions did) gave every
+// three-letter benchmark one shared RNG stream and BH/CL/SR another.
 func (b Benchmark) Generate(cfg config.Config) *Program {
-	return b.Gen(cfg, timing.NewRNG(cfg.Seed*1000003+uint64(len(b.Name))))
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(b.Name); i++ {
+		h ^= uint64(b.Name[i])
+		h *= fnvPrime
+	}
+	return b.Gen(cfg, timing.NewRNG(cfg.Seed*1000003+h))
 }
