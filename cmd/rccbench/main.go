@@ -25,6 +25,7 @@ import (
 
 	"rccsim/internal/config"
 	"rccsim/internal/experiments"
+	"rccsim/internal/obs"
 	"rccsim/internal/report"
 	"rccsim/internal/sim"
 	"rccsim/internal/trace"
@@ -41,6 +42,10 @@ var (
 	traceOut    = flag.String("trace", "", "write the event trace of a 'stats' run to this file")
 	traceFormat = flag.String("trace-format", "jsonl", "event trace format: jsonl or perfetto")
 	metricsIvl  = flag.Uint64("metrics-interval", 0, "emit stats deltas into the trace every N cycles (0 = off)")
+
+	serveAddr = flag.String("serve", "", "serve live introspection (/metrics, /runs, /healthz, /debug/pprof) on this address, e.g. :8080")
+	hotspots  = flag.Int("hotspots", 0, "print the top-N contended cache lines after a 'stats' run (0 = off)")
+	stacksOut = flag.String("stacks", "", "write folded cycle stacks of a 'stats' run to this file (flamegraph.pl input)")
 
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -75,9 +80,28 @@ func realMain() int {
 	if *progress {
 		r.Progress = experiments.StderrProgress(os.Stderr, "rccbench")
 	}
+	var tracker *obs.Tracker
+	if *serveAddr != "" {
+		tracker = obs.NewTracker(obs.NewRegistry())
+		addr, err := obs.StartServer(*serveAddr, tracker.Registry(), tracker)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "rccbench: serving introspection on http://%s\n", addr)
+		r.Started = tracker.Begin
+		r.Observe = tracker.Done
+		stderr := r.Progress
+		r.Progress = func(done, total int, label string) {
+			tracker.SetTotal(total)
+			if stderr != nil {
+				stderr(done, total, label)
+			}
+		}
+	}
 
 	if args[0] == "stats" {
-		if err := statsReport(r.Base, args[1:]); err != nil {
+		if err := statsReport(r.Base, tracker, args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
 			return 1
 		}
@@ -426,8 +450,9 @@ func yesno(b bool) string {
 }
 
 // statsReport runs one benchmark under one protocol and prints the full
-// per-run report.
-func statsReport(base config.Config, args []string) error {
+// per-run report, plus the optional -hotspots table and -stacks folded
+// cycle-account output.
+func statsReport(base config.Config, tracker *obs.Tracker, args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: rccbench stats <bench> <protocol>")
 	}
@@ -451,7 +476,19 @@ func statsReport(base config.Config, args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := sim.RunBenchmarkTraced(cfg, b, bus)
+	var heat *obs.Heat
+	if *hotspots > 0 {
+		k := 4 * *hotspots // track more than shown so the tail is trustworthy
+		if k < 64 {
+			k = 64
+		}
+		heat = obs.NewHeat(k)
+	}
+	label := fmt.Sprintf("%s/%v", b.Name, proto)
+	tracker.SetTotal(1)
+	tracker.Begin(label)
+	res, err := sim.RunBenchmarkObserved(cfg, b, bus, heat)
+	tracker.Done(label, res.Stats)
 	if cerr := closeBus(); err == nil {
 		err = cerr
 	}
@@ -460,6 +497,24 @@ func statsReport(base config.Config, args []string) error {
 	}
 	header(fmt.Sprintf("%s under %v", b.Name, proto))
 	fmt.Print(report.Format(cfg, res.Stats))
+	if heat != nil {
+		header(fmt.Sprintf("top %d contended lines", *hotspots))
+		heat.WriteTable(os.Stdout, *hotspots)
+	}
+	if *stacksOut != "" {
+		f, err := os.Create(*stacksOut)
+		if err != nil {
+			return err
+		}
+		werr := report.CycleStacks(f, cfg, res.Stats)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "rccbench: wrote folded cycle stacks to %s\n", *stacksOut)
+	}
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"rccsim/internal/check"
 	"rccsim/internal/config"
 	"rccsim/internal/core"
+	"rccsim/internal/obs"
 )
 
 func main() {
@@ -41,8 +42,21 @@ func main() {
 		outPath   = flag.String("out", "rccfuzz-repro.json", "where to write the shrunk repro on failure")
 		verbose   = flag.Bool("v", false, "log every seed")
 		weaken    = flag.Uint64("weaken-lease", 0, "self-test: extend every L1 lease check by N cycles (plants an SC bug)")
+		serve     = flag.String("serve", "", "serve live introspection (/metrics, /healthz, /debug/pprof) on this address, e.g. :8080")
 	)
 	flag.Parse()
+
+	var fm fuzzMetrics
+	if *serve != "" {
+		reg := obs.NewRegistry()
+		fm = newFuzzMetrics(reg)
+		addr, err := obs.StartServer(*serve, reg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rccfuzz: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rccfuzz: serving introspection on http://%s\n", addr)
+	}
 
 	if *weaken > 0 {
 		restore := core.WeakenLeaseCheckForTest(*weaken)
@@ -71,7 +85,28 @@ func main() {
 	if *reproPath != "" {
 		os.Exit(replay(*reproPath))
 	}
-	os.Exit(fuzz(*seeds, *start, *workers, *verbose, *outPath, opts))
+	os.Exit(fuzz(*seeds, *start, *workers, *verbose, *outPath, opts, fm))
+}
+
+// fuzzMetrics publishes fuzzing progress into an obs.Registry. The zero
+// value is inert: every Series method is nil-safe, so the fuzz loop can
+// update unconditionally whether or not -serve is set.
+type fuzzMetrics struct {
+	seeds    *obs.Series
+	done     *obs.Series
+	skipped  *obs.Series
+	failures *obs.Series
+	shrink   *obs.Series
+}
+
+func newFuzzMetrics(reg *obs.Registry) fuzzMetrics {
+	return fuzzMetrics{
+		seeds:    reg.Register("rccsim_fuzz_seeds", "Seeds this invocation will fuzz", obs.Gauge),
+		done:     reg.Register("rccsim_fuzz_seeds_done", "Seeds fully checked", obs.Counter),
+		skipped:  reg.Register("rccsim_fuzz_seeds_skipped", "Seeds skipped at enumeration limits", obs.Counter),
+		failures: reg.Register("rccsim_fuzz_failures_found", "SC violations observed before shrinking", obs.Counter),
+		shrink:   reg.Register("rccsim_fuzz_shrink_in_progress", "1 while delta-debugging a failure", obs.Gauge),
+	}
 }
 
 func replay(path string) int {
@@ -104,10 +139,11 @@ type hit struct {
 // fuzz runs seeds [start, start+n) across a worker pool. Workers race to
 // the first failure; the lowest failing seed wins so runs are reproducible
 // regardless of scheduling, then that failure is shrunk and written out.
-func fuzz(n int, start uint64, workers int, verbose bool, outPath string, opts check.Options) int {
+func fuzz(n int, start uint64, workers int, verbose bool, outPath string, opts check.Options, fm fuzzMetrics) int {
 	if workers < 1 {
 		workers = 1
 	}
+	fm.seeds.Set(uint64(n))
 	var (
 		next    atomic.Uint64 // index into the seed range
 		skipped atomic.Uint64 // enumeration-limit skips
@@ -132,13 +168,16 @@ func fuzz(n int, start uint64, workers int, verbose bool, outPath string, opts c
 					return
 				}
 				prog, fail, err := check.FuzzSeed(seed, opts)
+				fm.done.Add(1)
 				switch {
 				case err != nil:
 					skipped.Add(1)
+					fm.skipped.Add(1)
 					if verbose {
 						fmt.Fprintf(os.Stderr, "seed %d: skipped (%v)\n", seed, err)
 					}
 				case fail != nil:
+					fm.failures.Add(1)
 					mu.Lock()
 					if first == nil || seed < first.seed {
 						first = &hit{seed: seed, prog: prog, fail: fail}
@@ -163,7 +202,9 @@ func fuzz(n int, start uint64, workers int, verbose bool, outPath string, opts c
 	fmt.Printf("rccfuzz: seed %d FAILED: %v\n", first.seed, first.fail)
 	threads, ops := first.prog.Shape()
 	fmt.Printf("shrinking from %d threads / %d ops...\n", threads, ops)
+	fm.shrink.Set(1)
 	small, fail := check.Shrink(first.prog, first.fail, opts)
+	fm.shrink.Set(0)
 	threads, ops = small.Shape()
 	fmt.Printf("minimal repro (%d threads, %d ops):\n%s", threads, ops, small)
 	fmt.Printf("failure: %v\n", fail)

@@ -26,6 +26,8 @@ import (
 
 	"rccsim/internal/config"
 	"rccsim/internal/experiments"
+	"rccsim/internal/obs"
+	"rccsim/internal/stats"
 	"rccsim/internal/trace"
 	"rccsim/internal/workload"
 )
@@ -35,6 +37,9 @@ var (
 	scale    = flag.Float64("scale", 0.5, "workload scale")
 	jobs     = flag.Int("j", 0, "concurrent simulations (0 = one per CPU, 1 = sequential)")
 	progress = flag.Bool("progress", false, "report sweep progress (points done/total, ETA) on stderr")
+
+	serveAddr = flag.String("serve", "", "serve live introspection (/metrics, /runs, /healthz, /debug/pprof) on this address, e.g. :8080")
+	hotspots  = flag.Int("hotspots", 0, "print the top-N contended cache lines, merged across all sweep points (0 = off)")
 
 	traceOut    = flag.String("trace", "", "write every point's event trace to this file")
 	traceFormat = flag.String("trace-format", "jsonl", "event trace format: jsonl or perfetto")
@@ -71,9 +76,40 @@ func realMain() int {
 	base.Scale = *scale
 
 	var opts []experiments.RunOpt
+	var tracker *obs.Tracker
+	if *serveAddr != "" {
+		tracker = obs.NewTracker(obs.NewRegistry())
+		addr, err := obs.StartServer(*serveAddr, tracker.Registry(), tracker)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "rccsweep: serving introspection on http://%s\n", addr)
+		opts = append(opts,
+			experiments.WithPointBegin(func(_ int, label string) { tracker.Begin(label) }),
+			experiments.WithPointDone(func(_ int, label string, st *stats.Run) { tracker.Done(label, st) }))
+	}
+	// Progress consumers share the single WithProgress slot: the stderr
+	// line and the tracker's total both hang off the same callback.
+	var progFns []func(done, total int, label string)
 	if *progress {
-		opts = append(opts, experiments.WithProgress(
-			experiments.StderrProgress(os.Stderr, "rccsweep "+flag.Arg(0))))
+		progFns = append(progFns, experiments.StderrProgress(os.Stderr, "rccsweep "+flag.Arg(0)))
+	}
+	if tracker != nil {
+		progFns = append(progFns, func(_, total int, _ string) { tracker.SetTotal(total) })
+	}
+	if len(progFns) > 0 {
+		fns := progFns
+		opts = append(opts, experiments.WithProgress(func(done, total int, label string) {
+			for _, f := range fns {
+				f(done, total, label)
+			}
+		}))
+	}
+	var heats *pointHeats
+	if *hotspots > 0 {
+		heats = newPointHeats(4 * *hotspots)
+		opts = append(opts, experiments.WithPointHeat(heats.heat))
 	}
 	var pts *pointTraces
 	var traceFile *os.File
@@ -122,11 +158,47 @@ func realMain() int {
 			err = cerr
 		}
 	}
+	if err == nil && heats != nil {
+		fmt.Printf("\ntop %d contended lines (merged across %d points)\n", *hotspots, len(heats.m))
+		heats.merged().WriteTable(os.Stdout, *hotspots)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	return 0
+}
+
+// pointHeats hands one contention sketch to each sweep point and merges
+// them in point order afterwards, so the hotspot table is independent of
+// worker scheduling (same discipline as pointTraces).
+type pointHeats struct {
+	k  int
+	mu sync.Mutex
+	m  map[int]*obs.Heat
+}
+
+func newPointHeats(k int) *pointHeats {
+	if k < 64 {
+		k = 64 // track more than shown so the displayed tail is trustworthy
+	}
+	return &pointHeats{k: k, m: map[int]*obs.Heat{}}
+}
+
+func (p *pointHeats) heat(point int) *obs.Heat {
+	h := obs.NewHeat(p.k)
+	p.mu.Lock()
+	p.m[point] = h
+	p.mu.Unlock()
+	return h
+}
+
+func (p *pointHeats) merged() *obs.Heat {
+	out := obs.NewHeat(p.k)
+	for i := 0; i < len(p.m); i++ {
+		out.Merge(p.m[i])
+	}
+	return out
 }
 
 // startProfiles starts the pprof captures requested by -cpuprofile and

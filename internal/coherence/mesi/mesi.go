@@ -15,6 +15,7 @@ import (
 	"rccsim/internal/coherence"
 	"rccsim/internal/config"
 	"rccsim/internal/mem"
+	"rccsim/internal/obs"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -68,6 +69,8 @@ type L1 struct {
 	// resources it is polling for (an MSHR slot); set from SetSink when the
 	// sink implements coherence.Waker.
 	wake func()
+
+	heat *obs.Heat // per-line contention sampling (nil disables)
 }
 
 // NewL1 builds the controller.
@@ -91,6 +94,9 @@ func (c *L1) SetTracer(tr *trace.Bus) { c.tr = tr }
 // SetMsgPool attaches the machine's message free list (nil keeps plain
 // allocation).
 func (c *L1) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
+
+// SetHeat attaches the contention sketch (nil disables sampling).
+func (c *L1) SetHeat(h *obs.Heat) { c.heat = h }
 
 func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
@@ -230,6 +236,7 @@ func (c *L1) handle(m *coherence.Msg, now timing.Cycle) {
 		// Directory acknowledged a PutS; nothing to do.
 	case coherence.Inv:
 		c.st.Invalidations++
+		c.heat.Add(m.Line, obs.HeatPingPong, -1)
 		if e := c.tags.Lookup(m.Line); e != nil {
 			c.tags.Invalidate(e)
 			c.tr.L1State(now, c.id, m.Line, "S->I_inv")
@@ -406,6 +413,8 @@ type L2 struct {
 	zap       func(core int, line uint64) // SC-IDEAL instant invalidation
 	fillRetry timing.Queue[uint64]
 	pool      *coherence.MsgPool
+
+	heat *obs.Heat // per-line contention sampling (nil disables)
 }
 
 // NewL2 builds partition part. For SC-IDEAL (ideal=true), zap must
@@ -435,6 +444,9 @@ func (c *L2) SetTracer(tr *trace.Bus) { c.tr = tr }
 // SetMsgPool attaches the machine's message free list (nil keeps plain
 // allocation).
 func (c *L2) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
+
+// SetHeat attaches the contention sketch (nil disables sampling).
+func (c *L2) SetHeat(h *obs.Heat) { c.heat = h }
 
 // Deliver implements coherence.L2. Directory-maintenance messages (PutS,
 // InvAck) travel on their own virtual network and are serviced by the
@@ -540,6 +552,7 @@ func (c *L2) handle(m *coherence.Msg, now timing.Cycle) bool {
 func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 	e.Meta.Sharers |= 1 << uint(m.Src)
 	c.tags.Touch(e)
+	c.heat.Add(m.Line, obs.HeatReads, -1)
 	resp := c.pool.Get()
 	*resp = coherence.Msg{
 		Type: coherence.Data,
@@ -590,6 +603,7 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 }
 
 func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
+	c.heat.Add(m.Line, obs.HeatWrites, m.Src)
 	old := l.Val
 	if m.Type == coherence.AtomicReq {
 		l.Val = old + m.Val

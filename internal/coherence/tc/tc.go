@@ -15,6 +15,7 @@ import (
 	"rccsim/internal/coherence"
 	"rccsim/internal/config"
 	"rccsim/internal/mem"
+	"rccsim/internal/obs"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -62,6 +63,8 @@ type L1 struct {
 	// resources it is polling for (an MSHR slot); set from SetSink when the
 	// sink implements coherence.Waker.
 	wake func()
+
+	heat *obs.Heat // per-line contention sampling (nil disables)
 }
 
 // NewL1 builds the controller; weak selects TC-Weak semantics.
@@ -87,6 +90,9 @@ func (c *L1) SetTracer(tr *trace.Bus) { c.tr = tr }
 // SetMsgPool attaches the machine's message free list (nil keeps plain
 // allocation).
 func (c *L1) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
+
+// SetHeat attaches the contention sketch (nil disables sampling).
+func (c *L1) SetHeat(h *obs.Heat) { c.heat = h }
 
 func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
@@ -150,6 +156,7 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 	}
 	if e != nil {
 		c.tr.LeaseExpiredAt(now, c.id, r.Line, uint64(e.Meta.Lease), uint64(now))
+		c.heat.Add(r.Line, obs.HeatExpiryWaits, -1)
 	}
 	m.getsOut = true
 	m.loads = append(m.loads, r)
@@ -373,6 +380,8 @@ type L2 struct {
 	blocked map[uint64][]*coherence.Msg
 
 	pool *coherence.MsgPool
+
+	heat *obs.Heat // per-line contention sampling (nil disables)
 }
 
 // NewL2 builds partition part; weak selects TC-Weak.
@@ -400,6 +409,9 @@ func (c *L2) SetTracer(tr *trace.Bus) { c.tr = tr }
 // SetMsgPool attaches the machine's message free list (nil keeps plain
 // allocation).
 func (c *L2) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
+
+// SetHeat attaches the contention sketch (nil disables sampling).
+func (c *L2) SetHeat(h *obs.Heat) { c.heat = h }
 
 // Deliver implements coherence.L2: requests enter the access pipeline at
 // the delivery timestamp supplied by the interconnect.
@@ -480,6 +492,7 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 		l.GTS = lease
 	}
 	c.tags.Touch(e)
+	c.heat.Add(m.Line, obs.HeatReads, -1)
 	if m.Exp > 0 {
 		c.st.ExpiredGets++ // tracked for Fig 6 comparability
 	}
@@ -505,6 +518,7 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 	if !c.weak && l.GTS >= now {
 		// TC-Strong: wait out the lease.
 		c.st.L2StoreStallCycles += uint64(l.GTS + 1 - now)
+		c.heat.Add(m.Line, obs.HeatExpiryWaits, -1)
 		c.tr.L2State(now, c.part, m.Line, "store-stall", uint64(now), uint64(l.GTS))
 		c.blocked[m.Line] = []*coherence.Msg{}
 		c.stallQ.Push(l.GTS+1, m)
@@ -516,6 +530,7 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 }
 
 func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
+	c.heat.Add(m.Line, obs.HeatWrites, m.Src)
 	old := l.Val
 	if m.Type == coherence.AtomicReq {
 		l.Val = old + m.Val

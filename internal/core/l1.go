@@ -4,6 +4,7 @@ import (
 	"rccsim/internal/coherence"
 	"rccsim/internal/config"
 	"rccsim/internal/mem"
+	"rccsim/internal/obs"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -34,10 +35,11 @@ type l1Line struct {
 
 // l1MSHR tracks one line's outstanding transactions.
 type l1MSHR struct {
-	state   l1State
-	getsOut bool // a GETS is in flight
-	loads   []*coherence.Request
-	stores  []*coherence.Request // awaiting ACK (stores) or atomic DATA
+	state    l1State
+	getsOut  bool // a GETS is in flight
+	renewing bool // the GETS carried an expired copy (renewal opportunity)
+	loads    []*coherence.Request
+	stores   []*coherence.Request // awaiting ACK (stores) or atomic DATA
 }
 
 func (m *l1MSHR) empty() bool { return len(m.loads) == 0 && len(m.stores) == 0 }
@@ -68,6 +70,14 @@ type L1 struct {
 
 	lastLivelock timing.Cycle
 	frozen       bool // rollover in progress: reject new requests
+
+	// renewsPending counts MSHRs whose in-flight GETS is a renewal
+	// opportunity (expired copy attached); the SM's cycle accounting reads
+	// it through RenewPending to refine sc-stall-load into lease-renew.
+	renewsPending int
+
+	// heat, when non-nil, receives per-line contention samples.
+	heat *obs.Heat
 
 	// wake, when non-nil, notifies the SM that this Tick may have freed
 	// resources it is polling for (an MSHR slot); set from SetSink when the
@@ -101,6 +111,13 @@ func (c *L1) SetTracer(tr *trace.Bus) { c.tr = tr }
 // SetMsgPool attaches the machine's message free list (nil keeps plain
 // allocation).
 func (c *L1) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
+
+// SetHeat attaches the contention sketch (nil disables sampling).
+func (c *L1) SetHeat(h *obs.Heat) { c.heat = h }
+
+// RenewPending reports whether any in-flight GETS is a lease-renewal
+// opportunity (the SM cycle accounting's lease-renew refinement).
+func (c *L1) RenewPending() bool { return c.renewsPending > 0 }
 
 func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
@@ -159,6 +176,10 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 		if !m.getsOut {
 			c.sendGets(r.Line, e, now)
 			m.getsOut = true
+			if e != nil && !m.renewing {
+				m.renewing = true
+				c.renewsPending++
+			}
 		}
 		return true
 	}
@@ -189,6 +210,9 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 	if e != nil {
 		c.tr.LeaseExpiredAt(now, c.id, r.Line, e.Meta.Exp, c.clk.ReadNow())
 		c.tr.L1State(now, c.id, r.Line, "V_exp->IV")
+		c.heat.Add(r.Line, obs.HeatExpiryWaits, -1)
+		m.renewing = true
+		c.renewsPending++
 	} else {
 		c.tr.L1State(now, c.id, r.Line, "I->IV")
 	}
@@ -366,6 +390,10 @@ func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
 		return // response raced a rollover flush
 	}
 	mshr.getsOut = false
+	if mshr.renewing {
+		mshr.renewing = false
+		c.renewsPending--
+	}
 	for _, r := range mshr.loads {
 		c.complete(r, m.Val, now)
 	}
@@ -395,6 +423,10 @@ func (c *L1) handleRenew(m *coherence.Msg, now timing.Cycle) {
 		return
 	}
 	mshr.getsOut = false
+	if mshr.renewing {
+		mshr.renewing = false
+		c.renewsPending--
+	}
 	if e != nil {
 		for _, r := range mshr.loads {
 			c.st.L1Renewed++

@@ -4,6 +4,7 @@ import (
 	"rccsim/internal/coherence"
 	"rccsim/internal/config"
 	"rccsim/internal/mem"
+	"rccsim/internal/obs"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -69,13 +70,15 @@ type L2 struct {
 	backing *mem.Backing
 
 	pipe     timing.Calendar[*coherence.Msg] // models the access pipeline
-	deferred []*coherence.Msg             // requeued (MSHR-full or rollover)
+	deferred []*coherence.Msg                // requeued (MSHR-full or rollover)
 	pool     *coherence.MsgPool
 	mnow     uint64
 
 	frozen      bool
 	rolloverReq func() // machine-level rollover coordinator hook
 	tsGuard     uint64 // trigger threshold: TSMax minus headroom
+
+	heat *obs.Heat // per-line contention sampling (nil disables)
 }
 
 // NewL2 builds partition part. rollover is invoked (once per trigger) when
@@ -109,6 +112,9 @@ func (c *L2) SetTracer(tr *trace.Bus) { c.tr = tr }
 // SetMsgPool attaches the machine's message free list (nil keeps plain
 // allocation).
 func (c *L2) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
+
+// SetHeat attaches the contention sketch (nil disables sampling).
+func (c *L2) SetHeat(h *obs.Heat) { c.heat = h }
 
 // Deliver implements coherence.L2: requests enter the access pipeline at
 // the delivery timestamp supplied by the interconnect.
@@ -222,6 +228,7 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 	lease := c.lease(l)
 	l.Exp = maxU(l.Exp, maxU(l.Ver+lease, m.Now+lease))
 	c.tags.Touch(e)
+	c.heat.Add(m.Line, obs.HeatReads, -1)
 
 	if m.Exp > 0 {
 		c.st.ExpiredGets++
@@ -240,6 +247,7 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 			l.Pred = grown
 			c.st.PredictorGrows++
 		}
+		c.heat.Add(m.Line, obs.HeatRenewals, -1)
 		c.tr.Lease(now, trace.LeaseRenew, c.part, m.Line, l.Ver, l.Exp, m.Src)
 		resp := c.pool.Get()
 		*resp = coherence.Msg{
@@ -274,9 +282,14 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 // logical write time and the store never stalls.
 func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 	l := &e.Meta
+	oldVer := l.Ver
 	l.Ver = maxU(m.Now, maxU(l.Ver, l.Exp+1))
 	l.Val = m.Val
 	l.Dirty = true
+	c.heat.Add(m.Line, obs.HeatWrites, m.Src)
+	if l.Ver != oldVer {
+		c.heat.Add(m.Line, obs.HeatVerBumps, -1)
+	}
 	if c.cfg.RCCPredictor && l.Pred != c.cfg.RCCMinLease {
 		l.Pred = c.cfg.RCCMinLease
 		c.st.PredictorDrops++
@@ -302,9 +315,14 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 func (c *L2) atomicHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 	l := &e.Meta
 	old := l.Val
+	oldVer := l.Ver
 	l.Ver = maxU(m.Now, maxU(l.Ver, l.Exp+1))
 	l.Val = old + m.Val
 	l.Dirty = true
+	c.heat.Add(m.Line, obs.HeatWrites, m.Src)
+	if l.Ver != oldVer {
+		c.heat.Add(m.Line, obs.HeatVerBumps, -1)
+	}
 	if c.cfg.RCCPredictor && l.Pred != c.cfg.RCCMinLease {
 		l.Pred = c.cfg.RCCMinLease
 		c.st.PredictorDrops++

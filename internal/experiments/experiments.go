@@ -32,10 +32,19 @@ type Runner struct {
 	Jobs int // max concurrent simulations (set at construction)
 
 	// Progress, when non-nil, is invoked after each simulation a Preload
-	// batch completes (done so far, batch total). It runs on worker
-	// goroutines in completion order and must only drive side channels
-	// like stderr (see StderrProgress); it never affects results.
-	Progress func(done, total int)
+	// batch completes (done so far, batch total, completed point's
+	// "benchmark/protocol" label). It runs on worker goroutines in
+	// completion order and must only drive side channels like stderr (see
+	// StderrProgress); it never affects results.
+	Progress func(done, total int, label string)
+
+	// Started and Observe, when non-nil, bracket each simulation the
+	// Runner actually executes (cache hits invoke neither): Started fires
+	// as the run begins, Observe when it completes with the finished stats
+	// (nil on failure). Both run on worker goroutines — side channels only
+	// (e.g. obs.Tracker.Begin/Done).
+	Started func(label string)
+	Observe func(label string, st *stats.Run)
 
 	mu    sync.Mutex
 	cache map[cacheKey]*flight

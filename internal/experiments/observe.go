@@ -1,12 +1,12 @@
 // Observability hooks for the experiment harness: sweep/preload progress
-// reporting and per-point event tracing.
+// reporting, per-point event tracing, and per-point contention sampling.
 //
 // Determinism note: progress callbacks fire from worker goroutines in
 // completion order (non-deterministic under jobs > 1) and must only drive
-// side channels like stderr. Trace buses, by contrast, are handed out one
-// per point and each is driven only by that point's single-threaded
-// machine, so replaying the buses in input order after the sweep yields
-// byte-identical output regardless of the jobs setting.
+// side channels like stderr. Trace buses and heat sketches, by contrast,
+// are handed out one per point and each is driven only by that point's
+// single-threaded machine, so replaying/merging them in input order after
+// the sweep yields output independent of the jobs setting.
 package experiments
 
 import (
@@ -15,6 +15,8 @@ import (
 	"sync"
 	"time"
 
+	"rccsim/internal/obs"
+	"rccsim/internal/stats"
 	"rccsim/internal/trace"
 )
 
@@ -22,8 +24,11 @@ import (
 type RunOpt func(*runOpts)
 
 type runOpts struct {
-	progress func(done, total int)
+	progress func(done, total int, label string)
+	begin    func(point int, label string)
+	done     func(point int, label string, st *stats.Run)
 	tracer   func(point int) *trace.Bus
+	heat     func(point int) *obs.Heat
 }
 
 func applyOpts(opts []RunOpt) runOpts {
@@ -35,10 +40,23 @@ func applyOpts(opts []RunOpt) runOpts {
 }
 
 // WithProgress invokes fn after each completed point with the number of
-// points finished so far and the total. fn must be safe to call from
-// multiple goroutines (StderrProgress is).
-func WithProgress(fn func(done, total int)) RunOpt {
+// points finished so far, the total, and the completed point's
+// "benchmark/protocol" label. fn must be safe to call from multiple
+// goroutines (StderrProgress is).
+func WithProgress(fn func(done, total int, label string)) RunOpt {
 	return func(o *runOpts) { o.progress = fn }
+}
+
+// WithPointBegin invokes fn when point i starts executing (e.g. to mark it
+// in-flight in an obs.Tracker). fn runs on worker goroutines.
+func WithPointBegin(fn func(point int, label string)) RunOpt {
+	return func(o *runOpts) { o.begin = fn }
+}
+
+// WithPointDone invokes fn when point i completes, with its finished stats
+// (nil if the run failed). fn runs on worker goroutines.
+func WithPointDone(fn func(point int, label string, st *stats.Run)) RunOpt {
+	return func(o *runOpts) { o.done = fn }
 }
 
 // WithPointTracer attaches the event bus returned by fn(i) to point i's
@@ -51,24 +69,36 @@ func WithPointTracer(fn func(point int) *trace.Bus) RunOpt {
 	return func(o *runOpts) { o.tracer = fn }
 }
 
+// WithPointHeat attaches the contention sketch returned by fn(i) to point
+// i's machine. The same ownership rule as WithPointTracer applies: one
+// sketch per point, merged (obs.Heat.Merge) in point order afterwards.
+func WithPointHeat(fn func(point int) *obs.Heat) RunOpt {
+	return func(o *runOpts) { o.heat = fn }
+}
+
 // StderrProgress returns a progress callback that rewrites one status
-// line on w (normally os.Stderr) with points done/total and a wall-clock
-// ETA. It is mutex-guarded and so safe for concurrent workers; wall-clock
-// time never influences simulation results, only this side channel.
-func StderrProgress(w io.Writer, label string) func(done, total int) {
+// line on w (normally os.Stderr) with points done/total, throughput, a
+// wall-clock ETA, and the label of the point that just finished. Rates and
+// the ETA come from the monotonic clock reading carried by time.Time, so
+// wall-clock steps (NTP, suspend) cannot produce negative or absurd ETAs.
+// It is mutex-guarded and so safe for concurrent workers; wall-clock time
+// never influences simulation results, only this side channel.
+func StderrProgress(w io.Writer, label string) func(done, total int, point string) {
 	var mu sync.Mutex
 	start := time.Now()
-	return func(done, total int) {
+	return func(done, total int, point string) {
 		mu.Lock()
 		defer mu.Unlock()
 		elapsed := time.Since(start)
 		eta := "?"
-		if done > 0 {
+		pps := 0.0
+		if done > 0 && elapsed > 0 {
+			pps = float64(done) / elapsed.Seconds()
 			remain := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
 			eta = remain.Round(time.Second).String()
 		}
-		fmt.Fprintf(w, "\r%s: %d/%d points (%s elapsed, ETA %s)  ", label, done, total,
-			elapsed.Round(time.Second), eta)
+		fmt.Fprintf(w, "\r%s: %d/%d points (%.1f/s, %s elapsed, ETA %s) %s  ", label, done, total,
+			pps, elapsed.Round(time.Second), eta, point)
 		if done == total {
 			fmt.Fprintln(w)
 		}

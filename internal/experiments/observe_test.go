@@ -76,11 +76,13 @@ func TestProgressCallback(t *testing.T) {
 	b, _ := workload.ByName("BH")
 	var mu sync.Mutex
 	var calls []int
+	var labels []string
 	total := -1
 	_, err := LeaseSweep(base, b, []uint64{8, 64}, 2,
-		WithProgress(func(done, tot int) {
+		WithProgress(func(done, tot int, label string) {
 			mu.Lock()
 			calls = append(calls, done)
+			labels = append(labels, label)
 			total = tot
 			mu.Unlock()
 		}))
@@ -89,6 +91,11 @@ func TestProgressCallback(t *testing.T) {
 	}
 	if len(calls) != 2 || total != 2 {
 		t.Fatalf("progress calls %v (total %d), want 2 calls with total 2", calls, total)
+	}
+	for _, l := range labels {
+		if l != "BH/RCC" {
+			t.Fatalf("progress label %q, want BH/RCC", l)
+		}
 	}
 	seen := map[int]bool{}
 	for _, d := range calls {
@@ -104,11 +111,14 @@ func TestProgressCallback(t *testing.T) {
 func TestStderrProgress(t *testing.T) {
 	var buf bytes.Buffer
 	p := StderrProgress(&buf, "sweep")
-	p(1, 2)
-	p(2, 2)
+	p(1, 2, "BH/RCC")
+	p(2, 2, "BH/RCC")
 	out := buf.String()
 	if !strings.Contains(out, "sweep: 1/2 points") || !strings.Contains(out, "ETA") {
 		t.Fatalf("progress line wrong: %q", out)
+	}
+	if !strings.Contains(out, "BH/RCC") || !strings.Contains(out, "/s,") {
+		t.Fatalf("progress line missing label or rate: %q", out)
 	}
 	if !strings.HasSuffix(out, "\n") {
 		t.Fatalf("no final newline after completion: %q", out)

@@ -12,11 +12,13 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"rccsim/internal/config"
+	"rccsim/internal/obs"
 	"rccsim/internal/sim"
 	"rccsim/internal/trace"
 	"rccsim/internal/workload"
@@ -73,7 +75,7 @@ func (r *Runner) Preload(reqs []Request) error {
 		q := reqs[i]
 		_, err := r.resultOpt(q.Protocol, q.Bench, q.Renew, q.Predictor)
 		if r.Progress != nil {
-			r.Progress(int(done.Add(1)), len(reqs))
+			r.Progress(int(done.Add(1)), len(reqs), pointLabel(q.Bench.Name, q.Protocol))
 		}
 		return err
 	})
@@ -100,11 +102,23 @@ func (r *Runner) resultOpt(p config.Protocol, b workload.Benchmark, renew, pred 
 	cfg.Protocol = p
 	cfg.RCCRenew = renew
 	cfg.RCCPredictor = pred
+	label := pointLabel(b.Name, p)
+	if r.Started != nil {
+		r.Started(label)
+	}
 	f.res, f.err = sim.RunBenchmark(cfg, b)
+	if r.Observe != nil {
+		r.Observe(label, f.res.Stats) // Stats is nil on error
+	}
 	r.runs.Add(1)
 	<-r.sem
 	close(f.done)
 	return f.res, f.err
+}
+
+// pointLabel names one simulation point for progress and /runs reporting.
+func pointLabel(bench string, p config.Protocol) string {
+	return fmt.Sprintf("%s/%v", bench, p)
 }
 
 // parallelDo invokes f(0..n-1) with at most jobs concurrent workers
@@ -159,14 +173,25 @@ func runAll(cfgs []config.Config, b workload.Benchmark, jobs int, opts ...RunOpt
 	out := make([]sim.Result, len(cfgs))
 	var done atomic.Int64
 	err := parallelDo(jobs, len(cfgs), func(i int) error {
+		label := pointLabel(b.Name, cfgs[i].Protocol)
+		if o.begin != nil {
+			o.begin(i, label)
+		}
 		var bus *trace.Bus
 		if o.tracer != nil {
 			bus = o.tracer(i)
 		}
-		res, err := sim.RunBenchmarkTraced(cfgs[i], b, bus)
+		var heat *obs.Heat
+		if o.heat != nil {
+			heat = o.heat(i)
+		}
+		res, err := sim.RunBenchmarkObserved(cfgs[i], b, bus, heat)
 		out[i] = res
+		if o.done != nil {
+			o.done(i, label, res.Stats) // Stats is nil on error
+		}
 		if o.progress != nil {
-			o.progress(int(done.Add(1)), len(cfgs))
+			o.progress(int(done.Add(1)), len(cfgs), label)
 		}
 		return err
 	})

@@ -30,6 +30,21 @@ type Observer interface {
 	LoadObserved(sm, warp, pc int, line, val uint64)
 }
 
+// EnvProbe lets the cycle accounting ask the machine about state the SM
+// cannot see locally: whether an RCC rollover is in progress, and whether
+// a drained SM's outstanding memory is waiting on DRAM or only the NoC /
+// cache pipelines. Optional (nil skips both refinements).
+type EnvProbe interface {
+	RolloverActive() bool
+	MemWaitCat() stats.CycleCat
+}
+
+// renewProber is implemented by L1s that can report an in-flight lease
+// renewal (RCC), refining sc-stall-load into lease-renew.
+type renewProber interface {
+	RenewPending() bool
+}
+
 // tracker follows one warp-level memory instruction through its (possibly
 // divergent) line accesses.
 type tracker struct {
@@ -117,6 +132,24 @@ type SM struct {
 	idleFrom  timing.Cycle
 	idleBlame stats.OpClass
 
+	// Top-down cycle accounting: [acctUpTo, now) is an open interval of
+	// cycles not yet charged to CycleAccount; acctCat is the category the
+	// interval will be charged to. acctIssue/acctStall re-evaluate the
+	// category at every visited tick, so a sleep interval is charged to
+	// the decision made when the SM went to sleep (the machine force-wakes
+	// every SM on rollover, the one sleep-spanning category change).
+	acctUpTo timing.Cycle
+	acctCat  stats.CycleCat
+	// Attribution inputs maintained incrementally: sawLSUFull marks a WO
+	// warp rejected for a full LSU queue during this scan; fenceStalledN /
+	// barrierN count warps parked at fences / the block barrier; probe and
+	// renew are the optional environment probes.
+	sawLSUFull    bool
+	fenceStalledN int
+	barrierN      int
+	probe         EnvProbe
+	renew         renewProber
+
 	// Scan masks, maintained by reclassify after every warp-state change:
 	// cand bit i set ⟺ warps[i] might issue (not done-and-drained, not at
 	// a barrier, not SC-blocked), so scans touch only plausible warps;
@@ -181,6 +214,10 @@ func NewSM(cfg config.Config, id int, l1 coherence.L1, st *stats.Run, traces []w
 		nextID: nextID,
 		dirty:  true,
 		gto:    cfg.Scheduler == config.GTO,
+	}
+	s.acctCat = stats.CatDrained
+	if rp, ok := l1.(renewProber); ok {
+		s.renew = rp
 	}
 	ws := make([]warp, len(traces)) // one arena: scans walk contiguous memory
 	for i, tr := range traces {
@@ -261,6 +298,7 @@ func (s *SM) Tick(now timing.Cycle) bool {
 		return false
 	}
 	s.dirty = false
+	s.sawLSUFull = false
 	n := len(s.warps)
 	if s.gto {
 		// Greedy-then-oldest: stick with the last issuing warp, then
@@ -269,6 +307,7 @@ func (s *SM) Tick(now timing.Cycle) bool {
 			s.reclassify(g)
 			s.wakeAt = now + 1
 			s.closeIdle(now)
+			s.acctIssue(now)
 			return true
 		}
 		for i := nextBit(s.cand, 0, n); i >= 0; i = nextBit(s.cand, i+1, n) {
@@ -284,6 +323,7 @@ func (s *SM) Tick(now timing.Cycle) bool {
 				s.greedy = i
 				s.wakeAt = now + 1
 				s.closeIdle(now)
+				s.acctIssue(now)
 				return true
 			}
 		}
@@ -304,6 +344,7 @@ func (s *SM) Tick(now timing.Cycle) bool {
 					}
 					s.wakeAt = now + 1
 					s.closeIdle(now)
+					s.acctIssue(now)
 					return true
 				}
 			}
@@ -316,7 +357,8 @@ func (s *SM) Tick(now timing.Cycle) bool {
 	// Only the op the scheduler would actually have issued (the first
 	// blocked warp in scan order) loses its slot; later warps were not
 	// schedulable this cycle anyway (Fig 1a).
-	if first := s.firstBlocked(now); first != nil {
+	first := s.firstBlocked(now)
+	if first != nil {
 		if !s.idleValid {
 			s.idleValid = true
 			s.idleFrom = now
@@ -327,8 +369,90 @@ func (s *SM) Tick(now timing.Cycle) bool {
 	} else {
 		s.closeIdle(now)
 	}
+	s.acctStall(now, first)
 	return false
 }
+
+// acctIssue charges the open interval to its category and this cycle to
+// CatIssued. The SM always re-ticks at now+1 after an issue (wakeAt), so
+// the issued cycle can never be stretched by a sleep.
+func (s *SM) acctIssue(now timing.Cycle) {
+	if now > s.acctUpTo {
+		s.st.CycleAccount[s.acctCat] += uint64(now - s.acctUpTo)
+	}
+	s.st.CycleAccount[stats.CatIssued]++
+	s.acctUpTo = now + 1
+}
+
+// acctStall re-evaluates the lost-cycle category after a no-issue scan.
+// If the category is unchanged the open interval simply keeps growing;
+// otherwise the old interval is closed and a new one starts here.
+func (s *SM) acctStall(now timing.Cycle, first *warp) {
+	cat := s.stallCat(first)
+	if cat != s.acctCat {
+		if now > s.acctUpTo {
+			s.st.CycleAccount[s.acctCat] += uint64(now - s.acctUpTo)
+		}
+		s.acctUpTo = now
+		s.acctCat = cat
+	}
+}
+
+// stallCat is the attribution decision tree for a cycle with no issue,
+// in priority order: machine-wide freezes, then memory-ordering stalls
+// (with the RCC renew refinement), then structural stalls, then memory
+// waits, then scheduling gaps.
+func (s *SM) stallCat(first *warp) stats.CycleCat {
+	if s.probe != nil && s.probe.RolloverActive() {
+		return stats.CatRollover
+	}
+	if first != nil {
+		blame := s.blame(first)
+		if blame == stats.OpLoad && s.renew != nil && s.renew.RenewPending() {
+			return stats.CatLeaseRenew
+		}
+		return stats.SCStallCat(blame)
+	}
+	if s.pendingSubs > 0 {
+		return stats.CatMSHRFull
+	}
+	if s.fenceStalledN > 0 {
+		return stats.CatFence
+	}
+	if s.barrierN > 0 {
+		return stats.CatBarrier
+	}
+	if s.sawLSUFull || (s.liveN == 0 && s.liveTrk > 0) {
+		if s.probe != nil {
+			return s.probe.MemWaitCat()
+		}
+		return stats.CatNoC
+	}
+	if s.liveN > 0 || s.liveTrk > 0 {
+		return stats.CatNoReadyWarp
+	}
+	return stats.CatDrained
+}
+
+// FinishAccounting closes the open interval at the end-of-run cycle so
+// sum(CycleAccount) == end × 1 for this SM. Called once by the machine on
+// every Run exit path.
+func (s *SM) FinishAccounting(end timing.Cycle) {
+	if end > s.acctUpTo {
+		s.st.CycleAccount[s.acctCat] += uint64(end - s.acctUpTo)
+	}
+	s.acctUpTo = end
+}
+
+// SetEnvProbe attaches the machine-side accounting probe.
+func (s *SM) SetEnvProbe(p EnvProbe) { s.probe = p }
+
+// ForceWake marks the SM dirty unconditionally so its next Tick rescans
+// and re-evaluates the accounting category (rollover start/end must split
+// sleep intervals). A forced tick on a sleeping SM cannot issue — sleep
+// means the scan already proved nothing is issuable and only completions
+// (which set dirty themselves) change that — so this is behavior-neutral.
+func (s *SM) ForceWake() { s.dirty = true }
 
 // firstBlocked returns the SC-blocked, not-busy warp the scheduler would
 // have tried first this cycle: under GTO the greedy warp, then the lowest
@@ -438,6 +562,7 @@ func (s *SM) tryIssue(w *warp, now timing.Cycle) bool {
 			return false // unreachable from the masked scan, see scBlocked
 		}
 		if !s.sc && w.outstanding >= woMaxOutstanding {
+			s.sawLSUFull = true
 			return false // structural (LSU queue), not an SC stall
 		}
 		s.issueMem(w, in, now)
@@ -451,6 +576,7 @@ func (s *SM) tryIssue(w *warp, now timing.Cycle) bool {
 			return false // unreachable from the masked scan, see scBlocked
 		}
 		w.atBarrier = true
+		s.barrierN++
 		s.st.Instructions++
 		w.pc++ // pc advances now; release gates on atBarrier
 		s.finishTraceIfNeeded(w)
@@ -568,6 +694,7 @@ func (s *SM) issueFence(w *warp, now timing.Cycle) bool {
 	if w.fenceStalled {
 		s.st.FenceStallCycles += uint64(now - w.fenceFrom)
 		w.fenceStalled = false
+		s.fenceStalledN--
 	}
 	s.l1.FenceComplete(w.id, now)
 	s.st.Fences++
@@ -593,6 +720,7 @@ func (s *SM) markFenceStall(w *warp, now timing.Cycle) {
 	if !w.fenceStalled {
 		w.fenceStalled = true
 		w.fenceFrom = now
+		s.fenceStalledN++
 	}
 }
 
@@ -618,6 +746,7 @@ func (s *SM) checkBarrier() {
 		w.atBarrier = false
 		s.reclassify(w)
 	}
+	s.barrierN = 0
 	s.dirty = true
 }
 

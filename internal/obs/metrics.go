@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricKind distinguishes OpenMetrics counter and gauge families.
+type MetricKind int
+
+const (
+	Counter MetricKind = iota
+	Gauge
+)
+
+// Series is one labelled time series. Counters hold plain uint64 values;
+// gauges may also hold float64 bit patterns (SetFloat/Float). All access
+// is atomic, so simulation workers publish without locks and the HTTP
+// scraper reads a consistent-enough snapshot.
+type Series struct {
+	val   atomic.Uint64
+	isF   atomic.Bool
+	label string // pre-rendered {name="value",...} block, may be ""
+}
+
+// Add increments a counter series.
+func (s *Series) Add(n uint64) {
+	if s == nil {
+		return
+	}
+	s.val.Add(n)
+}
+
+// Set stores an integer gauge value.
+func (s *Series) Set(n uint64) {
+	if s == nil {
+		return
+	}
+	s.isF.Store(false)
+	s.val.Store(n)
+}
+
+// SetFloat stores a float gauge value.
+func (s *Series) SetFloat(f float64) {
+	if s == nil {
+		return
+	}
+	s.isF.Store(true)
+	s.val.Store(math.Float64bits(f))
+}
+
+// Value returns the current value rendered for the exposition format.
+func (s *Series) Value() string {
+	if s.isF.Load() {
+		return fmt.Sprintf("%g", math.Float64frombits(s.val.Load()))
+	}
+	return fmt.Sprintf("%d", s.val.Load())
+}
+
+// Get returns the raw integer value (tests).
+func (s *Series) Get() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.val.Load()
+}
+
+// metric is one family: a help string, a kind, and its labelled series.
+type metric struct {
+	name   string
+	help   string
+	kind   MetricKind
+	mu     sync.Mutex
+	series []*Series
+	byKey  map[string]*Series
+}
+
+// Registry holds metric families and renders them as OpenMetrics text.
+// Registration takes a lock; the per-sample fast path (Series methods) is
+// lock-free. The zero Registry is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+// Register declares a metric family (idempotent: re-registering a name
+// returns the existing family's default series handle).
+func (r *Registry) Register(name, help string, kind MetricKind) *Series {
+	return r.RegisterLabelled(name, help, kind, nil)
+}
+
+// RegisterLabelled declares (or finds) a metric family and returns the
+// series for the given label set. Labels render in the sorted-key order
+// required for a stable exposition.
+func (r *Registry) RegisterLabelled(name, help string, kind MetricKind, labels map[string]string) *Series {
+	r.mu.Lock()
+	m, ok := r.byName[name]
+	if !ok {
+		m = &metric{name: name, help: help, kind: kind, byKey: map[string]*Series{}}
+		r.byName[name] = m
+		r.metrics = append(r.metrics, m)
+	}
+	r.mu.Unlock()
+
+	key := renderLabels(labels)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.byKey[key]; ok {
+		return s
+	}
+	s := &Series{label: key}
+	m.byKey[key] = s
+	m.series = append(m.series, s)
+	return s
+}
+
+// renderLabels pre-renders a label set as `{k="v",...}` with sorted keys
+// and OpenMetrics escaping ("" for an empty set).
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		v := labels[k]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteOpenMetrics renders every family in registration order, series in
+// creation order, ending with the mandatory # EOF marker.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	for _, m := range metrics {
+		kind := "gauge"
+		suffix := ""
+		if m.kind == Counter {
+			kind = "counter"
+			suffix = "_total" // OpenMetrics: counter samples carry _total
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, kind); err != nil {
+			return err
+		}
+		m.mu.Lock()
+		series := make([]*Series, len(m.series))
+		copy(series, m.series)
+		m.mu.Unlock()
+		for _, s := range series {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", m.name, suffix, s.label, s.Value()); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}

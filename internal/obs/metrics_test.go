@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestNilSeries pins the disabled fast path: the zero fuzzMetrics /
+// unregistered-series case relies on every Series method being nil-safe.
+func TestNilSeries(t *testing.T) {
+	var s *Series
+	s.Add(1)
+	s.Set(2)
+	s.SetFloat(3.5)
+	if s.Get() != 0 {
+		t.Fatal("nil series has a value")
+	}
+}
+
+// TestRegistryOpenMetrics checks the exposition format line by line:
+// HELP/TYPE headers, the counter _total suffix, sorted escaped labels,
+// float gauges, and the mandatory # EOF trailer.
+func TestRegistryOpenMetrics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.RegisterLabelled("rccsim_cycle_account", "SM-cycles by category", Counter,
+		map[string]string{"category": "issued"})
+	c.Add(41)
+	c.Add(1)
+	g := reg.Register("rccsim_points_per_second", "throughput", Gauge)
+	g.SetFloat(2.5)
+	esc := reg.RegisterLabelled("rccsim_esc", "label escaping", Gauge,
+		map[string]string{"b": `say "hi"\`, "a": "x"})
+	esc.Set(7)
+
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP rccsim_cycle_account SM-cycles by category\n",
+		"# TYPE rccsim_cycle_account counter\n",
+		`rccsim_cycle_account_total{category="issued"} 42` + "\n",
+		"# TYPE rccsim_points_per_second gauge\n",
+		"rccsim_points_per_second 2.5\n",
+		`rccsim_esc{a="x",b="say \"hi\"\\"} 7` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("exposition does not end with # EOF:\n%s", out)
+	}
+	if err := parseOpenMetrics(out); err != nil {
+		t.Errorf("exposition does not parse: %v\n%s", err, out)
+	}
+}
+
+// TestRegisterIdempotent checks re-registration returns the same series.
+func TestRegisterIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Register("x", "h", Counter)
+	b := reg.Register("x", "h", Counter)
+	if a != b {
+		t.Fatal("re-registering returned a different series")
+	}
+	l1 := reg.RegisterLabelled("y", "h", Counter, map[string]string{"k": "v"})
+	l2 := reg.RegisterLabelled("y", "h", Counter, map[string]string{"k": "v"})
+	l3 := reg.RegisterLabelled("y", "h", Counter, map[string]string{"k": "w"})
+	if l1 != l2 || l1 == l3 {
+		t.Fatal("label-set identity broken")
+	}
+}
+
+// parseOpenMetrics is a minimal strictness check over the text format:
+// every line is a comment (# HELP/# TYPE/# EOF) or `name[{labels}] value`,
+// and the exposition ends with exactly one # EOF.
+func parseOpenMetrics(s string) error {
+	lines := strings.Split(strings.TrimSuffix(s, "\n"), "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "# EOF" {
+		return fmt.Errorf("missing # EOF terminator")
+	}
+	for i, ln := range lines[:len(lines)-1] {
+		if strings.HasPrefix(ln, "# HELP ") || strings.HasPrefix(ln, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(ln, "#") {
+			return fmt.Errorf("line %d: unexpected comment %q", i+1, ln)
+		}
+		sp := strings.LastIndexByte(ln, ' ')
+		if sp <= 0 {
+			return fmt.Errorf("line %d: no sample value in %q", i+1, ln)
+		}
+		name := ln[:sp]
+		if open := strings.IndexByte(name, '{'); open >= 0 && !strings.HasSuffix(name, "}") {
+			return fmt.Errorf("line %d: unbalanced labels in %q", i+1, ln)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(ln[sp+1:], "%g", &f); err != nil {
+			return fmt.Errorf("line %d: bad value in %q: %v", i+1, ln, err)
+		}
+	}
+	return nil
+}

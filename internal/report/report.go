@@ -40,6 +40,18 @@ func Format(cfg config.Config, st *stats.Run) string {
 		fmt.Fprintf(&b, "fences: %d (stall cycles %d)\n", st.Fences, st.FenceStallCycles)
 	}
 
+	if tot := st.TotalAccounted(); tot > 0 {
+		b.WriteString("\ntop-down cycle accounting (SM-cycles):\n")
+		for _, c := range stats.CycleCats() {
+			if st.CycleAccount[c] == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-16s %12d (%4.1f%%)\n",
+				c, st.CycleAccount[c], 100*frac(st.CycleAccount[c], tot))
+		}
+		fmt.Fprintf(&b, "  %-16s %12d\n", "total", tot)
+	}
+
 	b.WriteString("\nlatency (cycles)      mean      p50      p95\n")
 	for _, c := range []stats.OpClass{stats.OpLoad, stats.OpStore, stats.OpAtomic} {
 		acc := st.Latency[c]

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"rccsim/internal/config"
+	"rccsim/internal/stats"
+)
+
+// CycleStacks writes the run's top-down cycle account in Brendan Gregg's
+// folded-stacks format — one "frame;frame;frame count" line per non-zero
+// category — directly consumable by flamegraph.pl or speedscope. The stack
+// paths group related categories (all SC-stall flavours under sm;stall;sc,
+// memory-system waits under sm;stall;mem) so the flame graph folds the way
+// a top-down analysis reads.
+func CycleStacks(w io.Writer, cfg config.Config, st *stats.Run) error {
+	for _, c := range stats.CycleCats() {
+		n := st.CycleAccount[c]
+		if n == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s;%s %d\n", cfg.Protocol, stackPath(c), n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stackPath maps each accounting category to its folded-stack frame path.
+// The switch is exhaustive over the enum: a new CycleCat without a path
+// here falls through to the String() name at top level, and the
+// exhaustiveness test in stacks_test.go fails until a path is chosen.
+func stackPath(c stats.CycleCat) string {
+	switch c {
+	case stats.CatIssued:
+		return "sm;issued"
+	case stats.CatSCStallLoad:
+		return "sm;stall;sc;load"
+	case stats.CatSCStallStore:
+		return "sm;stall;sc;store"
+	case stats.CatSCStallAtomic:
+		return "sm;stall;sc;atomic"
+	case stats.CatLeaseRenew:
+		return "sm;stall;sc;lease-renew"
+	case stats.CatFence:
+		return "sm;stall;fence"
+	case stats.CatBarrier:
+		return "sm;stall;barrier"
+	case stats.CatMSHRFull:
+		return "sm;stall;mem;mshr-full"
+	case stats.CatNoC:
+		return "sm;stall;mem;noc"
+	case stats.CatDRAM:
+		return "sm;stall;mem;dram"
+	case stats.CatRollover:
+		return "sm;stall;rollover"
+	case stats.CatNoReadyWarp:
+		return "sm;idle;no-ready-warp"
+	case stats.CatDrained:
+		return "sm;idle;drained"
+	}
+	return "sm;" + c.String()
+}

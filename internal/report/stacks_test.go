@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"rccsim/internal/config"
+	"rccsim/internal/stats"
+)
+
+// TestCycleStacksSum checks the folded output: every line is
+// "frames... count", every frame path is rooted at the protocol, and the
+// counts sum back to the full account — a flame graph of the output covers
+// exactly Cycles × SMs.
+func TestCycleStacksSum(t *testing.T) {
+	cfg, res := runFor(t, config.RCC)
+	var sb strings.Builder
+	if err := CycleStacks(&sb, cfg, res.Stats); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var sum uint64
+	for _, ln := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		fields := strings.Fields(ln)
+		if len(fields) != 2 {
+			t.Fatalf("folded line not 'stack count': %q", ln)
+		}
+		if !strings.HasPrefix(fields[0], "RCC;sm;") {
+			t.Fatalf("stack not rooted at protocol;sm: %q", ln)
+		}
+		var n uint64
+		for _, c := range fields[1] {
+			if c < '0' || c > '9' {
+				t.Fatalf("non-numeric count in %q", ln)
+			}
+			n = n*10 + uint64(c-'0')
+		}
+		sum += n
+	}
+	if want := res.Stats.TotalAccounted(); sum != want {
+		t.Fatalf("folded counts sum to %d, want %d", sum, want)
+	}
+	if !strings.Contains(out, "RCC;sm;issued ") {
+		t.Fatalf("no issued frame in:\n%s", out)
+	}
+}
+
+// TestStackPathExhaustive requires a curated frame path for every
+// category: the stackPath fallback (bare String() at top level) indicates
+// a category added without deciding where it folds.
+func TestStackPathExhaustive(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range stats.CycleCats() {
+		p := stackPath(c)
+		if p != "sm;issued" && !strings.HasPrefix(p, "sm;stall;") && !strings.HasPrefix(p, "sm;idle;") {
+			t.Errorf("category %v has no curated frame group (got %q); add it to stackPath", c, p)
+		}
+		if seen[p] {
+			t.Errorf("categories share the frame path %q", p)
+		}
+		seen[p] = true
+	}
+}
+
+// TestFormatCycleAccount checks the report renders the accounting section
+// with percentages of the Cycles × SMs denominator.
+func TestFormatCycleAccount(t *testing.T) {
+	cfg, res := runFor(t, config.RCC)
+	out := Format(cfg, res.Stats)
+	if !strings.Contains(out, "top-down cycle accounting") {
+		t.Fatalf("report missing accounting section:\n%s", out)
+	}
+	for _, cat := range []stats.CycleCat{stats.CatIssued, stats.CatDrained} {
+		if !strings.Contains(out, cat.String()) {
+			t.Errorf("accounting section missing %q:\n%s", cat, out)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"rccsim/internal/gpu"
 	"rccsim/internal/mem"
 	"rccsim/internal/noc"
+	"rccsim/internal/obs"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -135,6 +136,7 @@ func New(cfg config.Config, prog *workload.Program, obs gpu.Observer) (*Machine,
 		m.l1s = append(m.l1s, l1)
 		m.network.Register(s, l1)
 		sm := gpu.NewSM(cfg, s, l1, m.st, prog.SMs[s], &m.nextID, obs)
+		sm.SetEnvProbe(m)
 		m.sms = append(m.sms, sm)
 		bindSink(l1, sm)
 	}
@@ -197,14 +199,15 @@ func (m *Machine) deliveryWake(dst int, now timing.Cycle) {
 
 // wakeAll pulls every component's wake time to at (rollover phase changes
 // freeze or thaw everything at once, outside any single component's own
-// event horizon). SMs whose L1 rejected a submit during the freeze are
-// woken explicitly so they retry.
+// event horizon). SMs are force-woken: retried submits aside, each must
+// re-evaluate its cycle-accounting category across the phase change, and a
+// forced scan on a sleeping SM is provably a no-op otherwise.
 func (m *Machine) wakeAll(at timing.Cycle) {
 	for i, sm := range m.sms {
 		if at < m.smWake[i] {
 			m.smWake[i] = at
 		}
-		sm.Wake()
+		sm.ForceWake()
 	}
 	for i := range m.l1Wake {
 		if at < m.l1Wake[i] {
@@ -269,6 +272,29 @@ func (m *Machine) AttachTracer(tr *trace.Bus) {
 		d.SetTracer(tr, p)
 	}
 	tr.BindStats(m.st)
+}
+
+// heatTarget is implemented by every controller that can sample per-line
+// contention; AttachHeat fans out through it.
+type heatTarget interface {
+	SetHeat(*obs.Heat)
+}
+
+// AttachHeat threads the contention sketch through every cache controller.
+// Call it before Run; a nil sketch detaches sampling everywhere. Like
+// stats.Run, the sketch becomes owned by this (single-threaded) machine —
+// never share one between concurrently running machines.
+func (m *Machine) AttachHeat(h *obs.Heat) {
+	for _, l1 := range m.l1s {
+		if t, ok := l1.(heatTarget); ok {
+			t.SetHeat(h)
+		}
+	}
+	for _, l2 := range m.l2s {
+		if t, ok := l2.(heatTarget); ok {
+			t.SetHeat(h)
+		}
+	}
 }
 
 // Now returns the current cycle.
@@ -419,6 +445,7 @@ func (m *Machine) Run() (*stats.Run, error) {
 	done := m.Done()
 	for !done {
 		if m.cfg.MaxCycles > 0 && uint64(m.now) > m.cfg.MaxCycles {
+			m.finishAccounting()
 			m.st.Cycles = uint64(m.now)
 			return m.st, fmt.Errorf("sim: exceeded MaxCycles=%d (livelock or deadlock?)", m.cfg.MaxCycles)
 		}
@@ -429,12 +456,36 @@ func (m *Machine) Run() (*stats.Run, error) {
 		}
 		idleJumps++
 		if idleJumps > 1000 {
+			m.finishAccounting()
 			m.st.Cycles = uint64(m.now)
 			return m.st, errors.New("sim: machine idle but not done (protocol deadlock)")
 		}
 	}
+	m.finishAccounting()
 	m.st.Cycles = uint64(m.now)
 	return m.st, nil
+}
+
+// finishAccounting closes every SM's open cycle-accounting interval at the
+// final cycle, establishing sum(CycleAccount) == Cycles × NumSMs.
+func (m *Machine) finishAccounting() {
+	for _, sm := range m.sms {
+		sm.FinishAccounting(m.now)
+	}
+}
+
+// RolloverActive implements gpu.EnvProbe.
+func (m *Machine) RolloverActive() bool { return m.roState != roIdle }
+
+// MemWaitCat implements gpu.EnvProbe: a drained SM's memory wait counts as
+// DRAM time whenever any channel has commands pending, else NoC time.
+func (m *Machine) MemWaitCat() stats.CycleCat {
+	for _, d := range m.drams {
+		if d.Pending() > 0 {
+			return stats.CatDRAM
+		}
+	}
+	return stats.CatNoC
 }
 
 // requestRollover is invoked by an RCC L2 partition whose timestamps are
@@ -455,6 +506,9 @@ func (m *Machine) requestRollover() {
 	for _, l2 := range m.rccL2s {
 		l2.Freeze(true)
 	}
+	// Force-wake the SMs so sleeping ones split their accounting interval
+	// at the freeze and start charging CatRollover.
+	m.wakeAll(m.now + 1)
 }
 
 // tickRollover advances the rollover state machine.
@@ -518,12 +572,20 @@ func RunBenchmark(cfg config.Config, b workload.Benchmark) (Result, error) {
 // duration of the run (nil tr is equivalent to RunBenchmark). The caller
 // keeps ownership of the bus and closes it after inspecting the result.
 func RunBenchmarkTraced(cfg config.Config, b workload.Benchmark, tr *trace.Bus) (Result, error) {
+	return RunBenchmarkObserved(cfg, b, tr, nil)
+}
+
+// RunBenchmarkObserved is RunBenchmarkTraced with a contention sketch
+// attached as well (nil heat disables sampling). The caller keeps
+// ownership of both and inspects them after the run.
+func RunBenchmarkObserved(cfg config.Config, b workload.Benchmark, tr *trace.Bus, heat *obs.Heat) (Result, error) {
 	prog := b.Generate(cfg)
 	m, err := New(cfg, prog, nil)
 	if err != nil {
 		return Result{}, err
 	}
 	m.AttachTracer(tr)
+	m.AttachHeat(heat)
 	st, err := m.Run()
 	if err != nil {
 		return Result{}, fmt.Errorf("%s/%v: %w", b.Name, cfg.Protocol, err)

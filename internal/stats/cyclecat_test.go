@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCycleCatStrings is the exhaustiveness check mirroring the trace.Kind
+// test: every accounting category must have a stable, unique wire name
+// (they appear in OpenMetrics labels, interval-trace rows, and folded
+// stacks). Adding a category without a name fails here first.
+func TestCycleCatStrings(t *testing.T) {
+	if len(CycleCats()) != int(numCycleCats) {
+		t.Fatalf("CycleCats returned %d categories, want %d", len(CycleCats()), numCycleCats)
+	}
+	seen := map[string]bool{}
+	for _, c := range CycleCats() {
+		s := c.String()
+		if strings.HasPrefix(s, "CycleCat(") {
+			t.Fatalf("CycleCat %d has no name", c)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate category string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestSCStallCat pins the op-class → stall-category mapping.
+func TestSCStallCat(t *testing.T) {
+	cases := map[OpClass]CycleCat{
+		OpLoad:   CatSCStallLoad,
+		OpStore:  CatSCStallStore,
+		OpAtomic: CatSCStallAtomic,
+	}
+	for op, want := range cases {
+		if got := SCStallCat(op); got != want {
+			t.Errorf("SCStallCat(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+// TestTotalAccounted checks the sum helper covers every slot.
+func TestTotalAccounted(t *testing.T) {
+	var r Run
+	for i := range r.CycleAccount {
+		r.CycleAccount[i] = uint64(i + 1)
+	}
+	want := uint64(0)
+	for i := 0; i < int(numCycleCats); i++ {
+		want += uint64(i + 1)
+	}
+	if got := r.TotalAccounted(); got != want {
+		t.Fatalf("TotalAccounted = %d, want %d", got, want)
+	}
+}

@@ -47,6 +47,105 @@ func OpClasses() []OpClass {
 	return out
 }
 
+// CycleCat is a top-down cycle-accounting category: every SM-cycle of a
+// run is attributed to exactly one category, so the per-run invariant
+// sum(Run.CycleAccount) == Cycles × NumSMs holds exactly. The set is
+// closed and priority-ordered by the SM's attribution decision tree
+// (gpu.SM): an issued cycle always wins; among lost cycles, memory-order
+// stalls outrank structural ones, which outrank pure scheduling gaps.
+type CycleCat int
+
+const (
+	// CatIssued: the SM issued one instruction this cycle.
+	CatIssued CycleCat = iota
+	// CatSCStallLoad/Store/Atomic: the issue slot was lost to SC memory
+	// ordering, blamed on the blocking warp's outstanding op class (the
+	// same decomposition as SCStallCycles, Figs 1a/1b/8).
+	CatSCStallLoad
+	CatSCStallStore
+	CatSCStallAtomic
+	// CatLeaseRenew: an SC load stall whose L1 is waiting on a lease
+	// renewal round trip for an expired-but-unchanged copy (RCC).
+	CatLeaseRenew
+	// CatFence: a weak-ordering FENCE is draining outstanding accesses.
+	CatFence
+	// CatBarrier: warps are parked at the threadblock barrier.
+	CatBarrier
+	// CatMSHRFull: a partially-submitted memory instruction is retrying
+	// against a full L1 MSHR file.
+	CatMSHRFull
+	// CatNoC: the SM is drained of issuable work and waiting on memory
+	// responses that are in the interconnect or cache pipelines.
+	CatNoC
+	// CatDRAM: as CatNoC, but at least one DRAM channel has commands
+	// pending, so the wait is (at least partly) device memory.
+	CatDRAM
+	// CatRollover: the machine is frozen in an RCC timestamp rollover.
+	CatRollover
+	// CatNoReadyWarp: live warps exist but none is ready (compute
+	// latency, scheduling gaps).
+	CatNoReadyWarp
+	// CatDrained: every warp has retired and all memory drained; the SM
+	// idles until the rest of the machine finishes.
+	CatDrained
+	numCycleCats
+)
+
+// String returns the stable wire name (metrics labels, folded stacks,
+// golden files; do not reword existing names).
+func (c CycleCat) String() string {
+	switch c {
+	case CatIssued:
+		return "issued"
+	case CatSCStallLoad:
+		return "sc-stall-load"
+	case CatSCStallStore:
+		return "sc-stall-store"
+	case CatSCStallAtomic:
+		return "sc-stall-atomic"
+	case CatLeaseRenew:
+		return "lease-renew"
+	case CatFence:
+		return "fence"
+	case CatBarrier:
+		return "barrier-wait"
+	case CatMSHRFull:
+		return "mshr-full"
+	case CatNoC:
+		return "noc-inflight"
+	case CatDRAM:
+		return "dram"
+	case CatRollover:
+		return "rollover"
+	case CatNoReadyWarp:
+		return "no-ready-warp"
+	case CatDrained:
+		return "drained"
+	}
+	return fmt.Sprintf("CycleCat(%d)", int(c))
+}
+
+// CycleCats lists every accounting category in display order
+// (exhaustiveness tests, metrics export, report rendering).
+func CycleCats() []CycleCat {
+	out := make([]CycleCat, numCycleCats)
+	for i := range out {
+		out[i] = CycleCat(i)
+	}
+	return out
+}
+
+// SCStallCat maps an SC stall blame class to its accounting category.
+func SCStallCat(c OpClass) CycleCat {
+	switch c {
+	case OpStore:
+		return CatSCStallStore
+	case OpAtomic:
+		return CatSCStallAtomic
+	}
+	return CatSCStallLoad
+}
+
 // MsgClass classifies interconnect messages for the Fig 9c traffic
 // breakdown.
 type MsgClass int
@@ -122,6 +221,11 @@ type Run struct {
 	Instructions uint64
 	MemOps       uint64 // warp-level global memory instructions issued
 
+	// Top-down cycle accounting: every SM-cycle charged to exactly one
+	// category (see CycleCat). Invariant: TotalAccounted() == Cycles ×
+	// NumSMs after every completed run, including the error exits.
+	CycleAccount [numCycleCats]uint64
+
 	// SC ordering stalls (Figs 1a, 1b, 8 top).
 	MemOpsStalled    uint64               // memory ops that waited >=1 cycle on a prior access
 	SCStallCycles    [numOpClasses]uint64 // stall cycles blamed on the outstanding op's class
@@ -187,6 +291,16 @@ func New() *Run { return &Run{} }
 func (r *Run) Traffic(c MsgClass, flits int) {
 	r.Msgs[c]++
 	r.Flits[c] += uint64(flits)
+}
+
+// TotalAccounted sums the cycle-account categories; equals Cycles × NumSMs
+// after a completed run.
+func (r *Run) TotalAccounted() uint64 {
+	var t uint64
+	for _, c := range r.CycleAccount {
+		t += c
+	}
+	return t
 }
 
 // TotalFlits sums flits over all message classes.

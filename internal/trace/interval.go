@@ -74,6 +74,9 @@ func (s *IntervalSink) snapshot(cyc uint64) {
 	for _, mc := range stats.MsgClasses() {
 		s.row(cyc, "flits:"+mc.String(), cur.Flits[mc]-s.prev.Flits[mc])
 	}
+	for _, cat := range stats.CycleCats() {
+		s.row(cyc, "acct:"+cat.String(), cur.CycleAccount[cat]-s.prev.CycleAccount[cat])
+	}
 	s.row(cyc, "l1-expired", cur.L1LoadExpired-s.prev.L1LoadExpired)
 	s.row(cyc, "l1-renewed", cur.L1Renewed-s.prev.L1Renewed)
 	s.row(cyc, "dram-reads", cur.DRAMReads-s.prev.DRAMReads)

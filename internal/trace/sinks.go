@@ -81,6 +81,15 @@ type PerfettoSink struct {
 	buf   []byte
 	first bool
 	err   error
+
+	// Derived counter tracks (satellite observability): per-SM logical
+	// clock skew and the ver/exp of the hottest (most-written) L2 block.
+	clockR   []uint64 // core id → latest read view (0 = not yet seen)
+	lastSkew uint64
+	skewSeen bool
+	lineN    map[uint64]uint64 // L2 line → state-change events seen
+	hotLine  uint64
+	hotN     uint64
 }
 
 // Perfetto pid per event family (names emitted as process_name metadata).
@@ -96,7 +105,8 @@ const (
 // NewPerfettoSink writes a complete JSON trace to w; the closing bracket
 // is written on Close.
 func NewPerfettoSink(w io.Writer) *PerfettoSink {
-	s := &PerfettoSink{w: bufio.NewWriterSize(w, 1<<16), first: true}
+	s := &PerfettoSink{w: bufio.NewWriterSize(w, 1<<16), first: true,
+		lineN: make(map[uint64]uint64)}
 	s.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
 	for pid, name := range []string{
 		pidNoC:     "interconnect",
@@ -178,12 +188,14 @@ func (s *PerfettoSink) Event(e *Event) {
 		if e.Kind == KindClock {
 			name = fmt.Sprintf("clock r=%d w=%d", e.Now, e.Ver)
 			args = ""
+			s.trackSkew(e)
 		}
 		s.event("i", pidL1, e.Src, e.Cycle, name, args)
 	case KindL2State:
 		s.event("i", pidL2, e.Src, e.Cycle,
 			fmt.Sprintf("%s line=%d", e.Label, e.Line),
 			fmt.Sprintf(`{"ver":%d,"exp":%d}`, e.Ver, e.Exp))
+		s.trackHotLine(e)
 	case KindLease:
 		pid, tid := pidL2, e.Src
 		if e.Label == LeaseExpired { // observed at an L1, not granted by an L2
@@ -208,6 +220,63 @@ func (s *PerfettoSink) Event(e *Event) {
 		s.event("C", pidMetrics, 0, e.Cycle, e.Label,
 			fmt.Sprintf(`{"%s":%d}`, e.Label, e.Val))
 	}
+}
+
+// trackSkew maintains per-core read views from KindClock events and emits
+// a "clock-skew" counter track whenever max(now)−min(now) across the cores
+// seen so far changes — the timeline view of relativistic time divergence.
+func (s *PerfettoSink) trackSkew(e *Event) {
+	if e.Src < 0 {
+		return
+	}
+	for len(s.clockR) <= e.Src {
+		s.clockR = append(s.clockR, 0)
+	}
+	s.clockR[e.Src] = e.Now
+	var min, max uint64
+	first := true
+	for _, r := range s.clockR {
+		if r == 0 {
+			continue // core not yet observed; zero views would fake skew
+		}
+		if first {
+			min, max = r, r
+			first = false
+			continue
+		}
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	skew := max - min
+	if !s.skewSeen || skew != s.lastSkew {
+		s.skewSeen = true
+		s.lastSkew = skew
+		s.event("C", pidMetrics, 1, e.Cycle, "clock-skew",
+			fmt.Sprintf(`{"cycles":%d}`, skew))
+	}
+}
+
+// trackHotLine follows the most state-changed L2 block and renders its
+// ver/exp as counter tracks, so lease churn on the contended line is
+// visible as a staircase in the timeline.
+func (s *PerfettoSink) trackHotLine(e *Event) {
+	n := s.lineN[e.Line] + 1
+	s.lineN[e.Line] = n
+	if n > s.hotN || (n == s.hotN && e.Line == s.hotLine) {
+		s.hotN = n
+		s.hotLine = e.Line
+	}
+	if e.Line != s.hotLine {
+		return
+	}
+	s.event("C", pidMetrics, 1, e.Cycle, "hot-line-ver",
+		fmt.Sprintf(`{"ver":%d}`, e.Ver))
+	s.event("C", pidMetrics, 1, e.Cycle, "hot-line-exp",
+		fmt.Sprintf(`{"exp":%d}`, e.Exp))
 }
 
 func (s *PerfettoSink) Close() error {

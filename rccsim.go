@@ -31,6 +31,8 @@ import (
 	"rccsim/internal/energy"
 	"rccsim/internal/experiments"
 	"rccsim/internal/gpu"
+	"rccsim/internal/obs"
+	"rccsim/internal/report"
 	"rccsim/internal/sim"
 	"rccsim/internal/stats"
 	"rccsim/internal/trace"
@@ -158,9 +160,9 @@ func RunTraced(cfg Config, name string, tr *TraceBus) (Result, error) {
 	return sim.RunBenchmarkTraced(cfg, b, tr)
 }
 
-// RunProgram simulates an arbitrary user-supplied program. obs may be nil.
-func RunProgram(cfg Config, prog *Program, obs Observer) (*Stats, error) {
-	m, err := sim.New(cfg, prog, obs)
+// RunProgram simulates an arbitrary user-supplied program. ob may be nil.
+func RunProgram(cfg Config, prog *Program, ob Observer) (*Stats, error) {
+	m, err := sim.New(cfg, prog, ob)
 	if err != nil {
 		return nil, err
 	}
@@ -168,8 +170,62 @@ func RunProgram(cfg Config, prog *Program, obs Observer) (*Stats, error) {
 }
 
 // NewMachine assembles a machine without running it (for cycle-stepping).
-func NewMachine(cfg Config, prog *Program, obs Observer) (*Machine, error) {
-	return sim.New(cfg, prog, obs)
+func NewMachine(cfg Config, prog *Program, ob Observer) (*Machine, error) {
+	return sim.New(cfg, prog, ob)
+}
+
+// CycleCat is one category of the top-down cycle account: every SM-cycle
+// of a run is attributed to exactly one (Stats.CycleAccount sums to
+// Cycles × NumSMs).
+type CycleCat = stats.CycleCat
+
+// CycleCats enumerates the accounting categories in display order.
+func CycleCats() []CycleCat { return stats.CycleCats() }
+
+// Heat is a bounded top-K sketch of per-cache-line contention (reads,
+// writes, renewals, version bumps, expiry waits, cross-SM ping-pong).
+// A nil *Heat disables sampling at (near) zero cost.
+type Heat = obs.Heat
+
+// NewHeat returns a contention sketch tracking about k lines.
+func NewHeat(k int) *Heat { return obs.NewHeat(k) }
+
+// MetricsRegistry collects named series rendered as OpenMetrics text by
+// the introspection server's /metrics endpoint.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RunTracker aggregates experiment progress (points done, ETA, simulated
+// cycles/s, cycle-account totals) into a MetricsRegistry and serves /runs.
+type RunTracker = obs.Tracker
+
+// NewRunTracker wires a tracker into reg. Hook it to a Runner via the
+// Started/Observe fields, or to sweeps via the WithPoint* options.
+func NewRunTracker(reg *MetricsRegistry) *RunTracker { return obs.NewTracker(reg) }
+
+// ServeIntrospection serves /metrics, /runs, /healthz and /debug/pprof on
+// addr in a background goroutine, returning the bound address. tr may be
+// nil (no /runs endpoint).
+func ServeIntrospection(addr string, reg *MetricsRegistry, tr *RunTracker) (string, error) {
+	return obs.StartServer(addr, reg, tr)
+}
+
+// RunObserved is RunTraced with a contention sketch also attached; either
+// tr or heat may be nil.
+func RunObserved(cfg Config, name string, tr *TraceBus, heat *Heat) (Result, error) {
+	b, ok := workload.ByName(name)
+	if !ok {
+		return Result{}, fmt.Errorf("rccsim: unknown benchmark %q", name)
+	}
+	return sim.RunBenchmarkObserved(cfg, b, tr, heat)
+}
+
+// WriteCycleStacks renders st's cycle account as folded stacks
+// (flamegraph.pl / speedscope input).
+func WriteCycleStacks(w io.Writer, cfg Config, st *Stats) error {
+	return report.CycleStacks(w, cfg, st)
 }
 
 // NewRunner returns an experiment runner over the given base machine,

@@ -6,12 +6,20 @@
 #
 # Usage: scripts/bench_baseline.sh [out.json]
 #
-# Regenerate on the machine whose numbers you want to compare against;
-# simCycles/s is host-dependent, allocs/op and B/op are not.
+# Without an argument it picks the next unused BENCH_N.json, extending the
+# checked-in baseline sequence (BENCH_0, BENCH_1, BENCH_2, ...); compare
+# neighbours with scripts/bench_compare.sh. Regenerate on the machine
+# whose numbers you want to compare against; simCycles/s is
+# host-dependent, allocs/op and B/op are not.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_0.json}"
+out="${1:-}"
+if [ -z "$out" ]; then
+	n=0
+	while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+	out="BENCH_${n}.json"
+fi
 benchtime="${BENCHTIME:-3x}"
 
 raw="$(go test -run '^$' -bench 'SimulatorThroughput|Protocols' \

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Compare two bench_baseline.sh JSON files and fail if simulator
+# throughput (BenchmarkSimulatorThroughput simCycles/s) regressed by more
+# than BENCH_TOLERANCE percent (default 10). Only compare files recorded
+# on the same host: simCycles/s is host-dependent.
+#
+# Usage: scripts/bench_compare.sh BASELINE.json CURRENT.json
+#        BENCH_TOLERANCE=5 scripts/bench_compare.sh BENCH_1.json BENCH_2.json
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+	echo "usage: $0 BASELINE.json CURRENT.json" >&2
+	exit 2
+fi
+base="$1"
+cur="$2"
+tol="${BENCH_TOLERANCE:-10}"
+
+throughput() {
+	# Pull simCycles/s out of the BenchmarkSimulatorThroughput entry.
+	grep -o '"name": "BenchmarkSimulatorThroughput"[^}]*' "$1" |
+		grep -o '"simCycles/s": [0-9.]*' | awk '{print $2}'
+}
+
+b="$(throughput "$base")"
+c="$(throughput "$cur")"
+if [ -z "$b" ] || [ -z "$c" ]; then
+	echo "bench_compare: BenchmarkSimulatorThroughput missing from $base or $cur" >&2
+	exit 2
+fi
+
+awk -v b="$b" -v c="$c" -v tol="$tol" -v bf="$base" -v cf="$cur" 'BEGIN {
+	drop = 100 * (b - c) / b
+	printf "%s: %d simCycles/s\n%s: %d simCycles/s\nchange: %+.1f%%\n", bf, b, cf, c, -drop
+	if (drop > tol) {
+		printf "FAIL: throughput regressed %.1f%% (tolerance %s%%)\n", drop, tol
+		exit 1
+	}
+	printf "OK: within %s%% tolerance\n", tol
+}'
