@@ -85,7 +85,7 @@ type L2 struct {
 // a timestamp is about to exceed the configured maximum.
 func NewL2(cfg config.Config, part int, port coherence.Port, st *stats.Run, dram *mem.DRAM, backing *mem.Backing, rollover func()) *L2 {
 	guard := cfg.RCCTSMax - 2*cfg.RCCMaxLease - 2
-	return &L2{
+	c := &L2{
 		cfg:    cfg,
 		part:   part,
 		nodeID: coherence.L2NodeID(part, cfg.NumSMs),
@@ -100,6 +100,10 @@ func NewL2(cfg config.Config, part int, port coherence.Port, st *stats.Run, dram
 		rolloverReq: rollover,
 		tsGuard:     guard,
 	}
+	// Pipe entries sit L2Latency ahead of delivery; size the ring for that
+	// horizon instead of the first-Push default.
+	c.pipe.Reserve(int(cfg.L2Latency) + 64)
+	return c
 }
 
 // MNow returns the partition's memory time (exported for tests and the
@@ -567,6 +571,7 @@ func (c *L2) ResetTimestamps(now timing.Cycle) {
 	}
 	zeroed := c.pipe
 	c.pipe = timing.Calendar[*coherence.Msg]{}
+	c.pipe.Reserve(int(c.cfg.L2Latency) + 64)
 	for {
 		m, ok := zeroed.PopReady(timing.Never - 1)
 		if !ok {

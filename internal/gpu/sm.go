@@ -124,6 +124,17 @@ type SM struct {
 	dirty  bool
 	wakeAt timing.Cycle
 
+	// Busy wheel (SC only): a 64-cycle bitmap of upcoming busyUntil wake
+	// times anchored at busyBase, maintained at issue time so the no-issue
+	// path reads the next wake in O(1) instead of scanning every warp.
+	// Bits may be stale (a warp re-issued) — that only wakes the SM early,
+	// which the scheduler contract allows. busyFar is the minimum wake
+	// beyond the wheel horizon; when the wheel drains, a full scan rebuilds
+	// both.
+	busyBase timing.Cycle
+	busyMask uint64
+	busyFar  timing.Cycle
+
 	// SC stall accounting (Figs 1a/1b/8): an SC stall is an issue slot
 	// the SM loses because the only issuable work is blocked by memory
 	// ordering. idleFrom marks the start of the current lost interval;
@@ -149,6 +160,10 @@ type SM struct {
 	barrierN      int
 	probe         EnvProbe
 	renew         renewProber
+	// rollover mirrors probe.RolloverActive(), pushed by the machine at the
+	// rollover phase edges so the per-scan attribution check is one flag
+	// read instead of an interface call.
+	rollover bool
 
 	// Scan masks, maintained by reclassify after every warp-state change:
 	// cand bit i set ⟺ warps[i] might issue (not done-and-drained, not at
@@ -216,6 +231,7 @@ func NewSM(cfg config.Config, id int, l1 coherence.L1, st *stats.Run, traces []w
 		gto:    cfg.Scheduler == config.GTO,
 	}
 	s.acctCat = stats.CatDrained
+	s.busyFar = timing.Never
 	if rp, ok := l1.(renewProber); ok {
 		s.renew = rp
 	}
@@ -351,7 +367,11 @@ func (s *SM) Tick(now timing.Cycle) bool {
 			lo, hi = 0, s.rr
 		}
 	}
-	s.wakeAt = s.scanNextEvent(now)
+	if s.sc {
+		s.wakeAt = s.nextBusy(now)
+	} else {
+		s.wakeAt = s.scanNextEvent(now)
+	}
 	// Nothing issued: if some warp was blocked purely by SC ordering,
 	// this cycle (and every cycle until the next scan) is an SC stall.
 	// Only the op the scheduler would actually have issued (the first
@@ -403,7 +423,7 @@ func (s *SM) acctStall(now timing.Cycle, first *warp) {
 // (with the RCC renew refinement), then structural stalls, then memory
 // waits, then scheduling gaps.
 func (s *SM) stallCat(first *warp) stats.CycleCat {
-	if s.probe != nil && s.probe.RolloverActive() {
+	if s.rollover {
 		return stats.CatRollover
 	}
 	if first != nil {
@@ -446,6 +466,10 @@ func (s *SM) FinishAccounting(end timing.Cycle) {
 
 // SetEnvProbe attaches the machine-side accounting probe.
 func (s *SM) SetEnvProbe(p EnvProbe) { s.probe = p }
+
+// SetRollover is pushed by the machine when a rollover begins or ends;
+// the flag feeds stallCat without an interface call per scan.
+func (s *SM) SetRollover(on bool) { s.rollover = on }
 
 // ForceWake marks the SM dirty unconditionally so its next Tick rescans
 // and re-evaluates the accounting category (rollover start/end must split
@@ -540,6 +564,9 @@ func (s *SM) tryIssue(w *warp, now timing.Cycle) bool {
 	switch in.Op {
 	case workload.OpCompute:
 		w.busyUntil = now + timing.Cycle(in.Lat)
+		if s.sc {
+			s.noteBusy(now, w.busyUntil)
+		}
 		s.retire(w)
 		return true
 
@@ -554,6 +581,9 @@ func (s *SM) tryIssue(w *warp, now timing.Cycle) bool {
 			lat = s.cfg.LocalLatency
 		}
 		w.busyUntil = now + timing.Cycle(lat)
+		if s.sc {
+			s.noteBusy(now, w.busyUntil)
+		}
 		s.retire(w)
 		return true
 
@@ -807,6 +837,80 @@ func (s *SM) NextEvent(now timing.Cycle) timing.Cycle {
 		// every cycle (as the retry loop always did); the scan itself only
 		// reruns once the L1 wakes us, so the visit is O(1).
 		next = timing.Min(next, now+1)
+	}
+	return next
+}
+
+// noteBusy records a future busyUntil in the wheel (or busyFar when past
+// the horizon). Called on every compute/local issue — the only places a
+// busyUntil is set.
+func (s *SM) noteBusy(now, at timing.Cycle) {
+	if shift := now - s.busyBase; shift > 0 {
+		if shift < 64 {
+			s.busyMask >>= uint(shift)
+		} else {
+			s.busyMask = 0
+		}
+		s.busyBase = now
+	}
+	if d := at - now; d < 64 {
+		s.busyMask |= 1 << uint(d)
+	} else if at < s.busyFar {
+		s.busyFar = at
+	}
+}
+
+// nextBusy returns the earliest upcoming busyUntil wake (SC's next event:
+// completions arrive via dirty, and fences are no-ops). The wheel answer
+// may be early — stale bits cost a no-op visit, never a missed event —
+// and a drained wheel falls back to a full rebuild scan.
+func (s *SM) nextBusy(now timing.Cycle) timing.Cycle {
+	if shift := now - s.busyBase; shift > 0 {
+		if shift < 64 {
+			s.busyMask >>= uint(shift)
+		} else {
+			s.busyMask = 0
+		}
+		s.busyBase = now
+	}
+	if s.busyMask > 1 {
+		// Bit 0 is now itself — this scan already ran at now, so the next
+		// visit is the next set bit after it.
+		return now + timing.Cycle(bits.TrailingZeros64(s.busyMask&^1))
+	}
+	if s.busyFar != timing.Never {
+		// Wheel empty but far wakes were pending (busyFar keeps only their
+		// minimum, so once it is due the rest must be re-derived): rebuild
+		// from current warp state.
+		return s.rebuildBusy(now)
+	}
+	return timing.Never
+}
+
+// rebuildBusy re-derives the wheel and busyFar from every warp that could
+// wake the SM (cand ∪ scMask, exactly scanNextEvent's coverage) and
+// returns the earliest wake.
+func (s *SM) rebuildBusy(now timing.Cycle) timing.Cycle {
+	s.busyBase = now
+	s.busyMask = 0
+	s.busyFar = timing.Never
+	next := timing.Never
+	n := len(s.warps)
+	for wi := range s.cand {
+		word := s.cand[wi] | s.scMask[wi]
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if i >= n {
+				break
+			}
+			w := s.warps[i]
+			if w.subSlot >= 0 || w.busyUntil <= now {
+				continue
+			}
+			s.noteBusy(now, w.busyUntil)
+			next = timing.Min(next, w.busyUntil)
+		}
 	}
 	return next
 }

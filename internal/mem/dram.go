@@ -55,13 +55,17 @@ type DRAM struct {
 
 // NewDRAM builds a channel using the DRAM parameters in cfg.
 func NewDRAM(cfg config.Config, st *stats.Run) *DRAM {
-	return &DRAM{
+	d := &DRAM{
 		cfg:      cfg,
 		banks:    make([]dramBank, cfg.DRAMBanksPerPart),
 		st:       st,
 		rowLines: uint64(cfg.DRAMRowLines),
 		lastTick: timing.Never, // so the first Tick, even at cycle 0, schedules
 	}
+	// Completions sit an access latency past issue; size the ring for that
+	// horizon (backlog-driven spans beyond it grow the ring on demand).
+	d.done.Reserve(int(cfg.DRAMtRP+cfg.DRAMtRCD+cfg.DRAMtCL+2*cfg.DRAMPipeLatency) + 64)
+	return d
 }
 
 // SetTracer attaches the event bus (nil disables tracing); part is the L2

@@ -14,9 +14,11 @@ import (
 	"rccsim/internal/trace"
 )
 
-// Node receives delivered messages. at is the cycle the network last
-// ticked before this delivery (receivers that have not ticked yet this
-// cycle see at == their own last visited cycle).
+// Node receives delivered messages. at is the delivery cycle itself: the
+// cycle the message's tail flit cleared the ejection port. Receivers that
+// stamp pipeline entry (the L2s) therefore see the same timestamp
+// regardless of which cycles the run loop happened to visit — a property
+// the deterministic sharded scheduler relies on.
 type Node interface {
 	Deliver(m *coherence.Msg, at timing.Cycle)
 }
@@ -45,11 +47,6 @@ type Network struct {
 	jitter    *timing.RNG
 	jitterMax uint64
 
-	// last is the cycle of the most recent Tick; deliveries during a Tick
-	// pass the previous tick's cycle so receivers that already ticked this
-	// cycle timestamp pipeline entry exactly as if they tracked it.
-	last timing.Cycle
-
 	// onDeliver, when set, is called after each delivery so the run loop
 	// can re-arm the destination's wake time.
 	onDeliver func(dst int, now timing.Cycle)
@@ -71,6 +68,10 @@ func New(cfg config.Config, st *stats.Run) *Network {
 		n.jitter = timing.NewRNG(cfg.Seed ^ 0xa24baed4963ee407)
 		n.jitterMax = cfg.NoCJitter
 	}
+	// In-flight spans are one pipe traversal plus jitter and ejection
+	// backlog; size the ring for the unloaded case and let it grow under
+	// sustained congestion.
+	n.inflight.Reserve(int(cfg.NoCPipeLatency+cfg.NoCJitter) + 128)
 	return n
 }
 
@@ -121,13 +122,11 @@ func (n *Network) Send(m *coherence.Msg, now timing.Cycle) {
 // the destination component's wake time.
 func (n *Network) SetWake(fn func(dst int, now timing.Cycle)) { n.onDeliver = fn }
 
-// Tick delivers every message that has arrived by cycle now.
+// Tick delivers every message that has arrived by cycle now. Receivers
+// are handed the delivery cycle itself, so delivery timestamps are a pure
+// function of the message stream — independent of which cycles the run
+// loop visited in between.
 func (n *Network) Tick(now timing.Cycle) bool {
-	// Receivers that tick after the network this cycle stamp pipeline
-	// entry at now; the at we hand them is the network's previous tick,
-	// which is the receiver's own previous visited cycle.
-	at := n.last
-	n.last = now
 	did := false
 	for {
 		m, ok := n.inflight.PopReady(now)
@@ -136,7 +135,7 @@ func (n *Network) Tick(now timing.Cycle) bool {
 		}
 		did = true
 		n.tr.MsgRecv(now, m)
-		n.nodes[m.Dst].Deliver(m, at)
+		n.nodes[m.Dst].Deliver(m, now)
 		if n.onDeliver != nil {
 			n.onDeliver(m.Dst, now)
 		}

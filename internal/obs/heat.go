@@ -125,10 +125,16 @@ func NewHeat(k int) *Heat {
 // Add records one touch of metric m on line. sm is the touching SM for
 // ping-pong detection (pass −1 when unknown or not a write); callers pass
 // it only on writes/atomics, so ping-pong counts write-write migration.
+// The nil check lives in this thin wrapper so it inlines into the cache
+// controllers' hot paths: a detached sketch costs one branch, not a call.
 func (h *Heat) Add(line uint64, m HeatMetric, sm int) {
 	if h == nil {
 		return
 	}
+	h.add(line, m, sm)
+}
+
+func (h *Heat) add(line uint64, m HeatMetric, sm int) {
 	i, ok := h.index[line]
 	if !ok {
 		if len(h.entries) >= h.k {

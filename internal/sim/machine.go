@@ -61,6 +61,19 @@ type Machine struct {
 	l2Wake []timing.Cycle
 	l1Next []func(timing.Cycle) timing.Cycle // NextTick if provided, else NextEvent
 
+	// Per-class lower bounds on the wake arrays: when a whole class's
+	// minimum lies in the future, Step skips that class's scan entirely.
+	// Every path that lowers a wake time also lowers the matching bound;
+	// the bounds are re-tightened each time the class scan runs.
+	smWakeMin timing.Cycle
+	l1WakeMin timing.Cycle
+	l2WakeMin timing.Cycle
+
+	// memWait memoizes MemWaitCat for one cycle: the DRAM scan behind it
+	// is O(partitions) and every drained SM asks the same question.
+	memWaitAt  timing.Cycle
+	memWaitCat stats.CycleCat
+
 	// RCC rollover coordination.
 	rccL1s    []*core.L1
 	rccL2s    []*core.L2
@@ -189,11 +202,17 @@ func (m *Machine) deliveryWake(dst int, now timing.Cycle) {
 	if dst < m.cfg.NumSMs {
 		if now+1 < m.l1Wake[dst] {
 			m.l1Wake[dst] = now + 1
+			if now+1 < m.l1WakeMin {
+				m.l1WakeMin = now + 1
+			}
 		}
 		return
 	}
 	if p := dst - m.cfg.NumSMs; now < m.l2Wake[p] {
 		m.l2Wake[p] = now
+		if now < m.l2WakeMin {
+			m.l2WakeMin = now
+		}
 	}
 }
 
@@ -219,6 +238,9 @@ func (m *Machine) wakeAll(at timing.Cycle) {
 			m.l2Wake[p] = at
 		}
 	}
+	m.smWakeMin = timing.Min(m.smWakeMin, at)
+	m.l1WakeMin = timing.Min(m.l1WakeMin, at)
+	m.l2WakeMin = timing.Min(m.l2WakeMin, at)
 }
 
 // msgPoolTarget is implemented by controllers that recycle coherence
@@ -367,41 +389,63 @@ func (m *Machine) Step() bool {
 	now := m.now
 	m.tr.CycleReached(now)
 	did := false
-	for i, sm := range m.sms {
-		if m.smWake[i] <= now {
-			if sm.Tick(now) {
-				did = true
-			}
-			m.smWake[i] = timing.Max(now+1, sm.NextEvent(now))
-		}
-	}
-	for i, l1 := range m.l1s {
-		if m.l1Wake[i] <= now {
-			if l1.Tick(now) {
-				did = true
-				// Completions (MemDone) or an MSHR-free wake may have
-				// made the SM issuable again next cycle.
-				if now+1 < m.smWake[i] {
-					m.smWake[i] = now + 1
+	if m.smWakeMin <= now {
+		min := timing.Never
+		for i, sm := range m.sms {
+			if m.smWake[i] <= now {
+				if sm.Tick(now) {
+					did = true
 				}
+				m.smWake[i] = timing.Max(now+1, sm.NextEvent(now))
 			}
-			m.l1Wake[i] = timing.Max(now+1, m.l1Next[i](now))
+			if m.smWake[i] < min {
+				min = m.smWake[i]
+			}
 		}
+		m.smWakeMin = min
+	}
+	if m.l1WakeMin <= now {
+		min := timing.Never
+		for i, l1 := range m.l1s {
+			if m.l1Wake[i] <= now {
+				if l1.Tick(now) {
+					did = true
+					// Completions (MemDone) or an MSHR-free wake may have
+					// made the SM issuable again next cycle.
+					if now+1 < m.smWake[i] {
+						m.smWake[i] = now + 1
+						m.smWakeMin = timing.Min(m.smWakeMin, now+1)
+					}
+				}
+				m.l1Wake[i] = timing.Max(now+1, m.l1Next[i](now))
+			}
+			if m.l1Wake[i] < min {
+				min = m.l1Wake[i]
+			}
+		}
+		m.l1WakeMin = min
 	}
 	// The network ticks unconditionally: it is a single heap check when
 	// idle, and its deliveries re-arm destination wake times.
 	if m.network.Tick(now) {
 		did = true
 	}
-	for p, l2 := range m.l2s {
-		if m.l2Wake[p] <= now {
-			if l2.Tick(now) {
-				did = true
+	if m.l2WakeMin <= now {
+		min := timing.Never
+		for p, l2 := range m.l2s {
+			if m.l2Wake[p] <= now {
+				if l2.Tick(now) {
+					did = true
+				}
+				m.l2Wake[p] = timing.Max(now+1, l2.NextEvent(now))
 			}
-			m.l2Wake[p] = timing.Max(now+1, l2.NextEvent(now))
+			if m.l2Wake[p] < min {
+				min = m.l2Wake[p]
+			}
 		}
+		m.l2WakeMin = min
 	}
-	if m.tickRollover(now) {
+	if m.roState != roIdle && m.tickRollover(now) {
 		did = true
 		m.wakeAll(now + 1)
 	}
@@ -418,18 +462,15 @@ func (m *Machine) Step() bool {
 	return false
 }
 
+// nextEvent returns a safe idle-jump target: the earliest pending wake
+// bound or network delivery. The wake arrays are conservative (never
+// late), so the jump can only land early — an extra no-op visit — never
+// skip an event. Delivery timestamps are visit-independent (see
+// noc.Node), so an early landing is behaviour-neutral.
 func (m *Machine) nextEvent(now timing.Cycle) timing.Cycle {
-	next := timing.Never
-	for _, sm := range m.sms {
-		next = timing.Min(next, sm.NextEvent(now))
-	}
-	for _, l1 := range m.l1s {
-		next = timing.Min(next, l1.NextEvent(now))
-	}
+	next := timing.Min(m.smWakeMin, m.l1WakeMin)
+	next = timing.Min(next, m.l2WakeMin)
 	next = timing.Min(next, m.network.NextEvent())
-	for _, l2 := range m.l2s {
-		next = timing.Min(next, l2.NextEvent(now))
-	}
 	if m.roState != roIdle {
 		next = timing.Min(next, m.roReadyAt)
 	}
@@ -455,7 +496,10 @@ func (m *Machine) Run() (*stats.Run, error) {
 			continue
 		}
 		idleJumps++
-		if idleJumps > 1000 {
+		// The bound must exceed the worst-case run of conservative-early
+		// no-op visits (every SM's busy wheel fully stale: NumSMs × 64),
+		// or a healthy machine could be misdiagnosed as deadlocked.
+		if idleJumps > 4096+64*len(m.sms) {
 			m.finishAccounting()
 			m.st.Cycles = uint64(m.now)
 			return m.st, errors.New("sim: machine idle but not done (protocol deadlock)")
@@ -478,14 +522,23 @@ func (m *Machine) finishAccounting() {
 func (m *Machine) RolloverActive() bool { return m.roState != roIdle }
 
 // MemWaitCat implements gpu.EnvProbe: a drained SM's memory wait counts as
-// DRAM time whenever any channel has commands pending, else NoC time.
+// DRAM time whenever any channel has commands pending, else NoC time. The
+// answer is memoized per cycle — DRAM state cannot change while the SMs
+// tick (channels advance only via the L2s, later in the same Step), and
+// every drained SM asks the same question. The memo stores now+1 as its
+// validity stamp so the zero value never matches cycle 0.
 func (m *Machine) MemWaitCat() stats.CycleCat {
-	for _, d := range m.drams {
-		if d.Pending() > 0 {
-			return stats.CatDRAM
+	if m.memWaitAt != m.now+1 {
+		m.memWaitCat = stats.CatNoC
+		for _, d := range m.drams {
+			if d.Pending() > 0 {
+				m.memWaitCat = stats.CatDRAM
+				break
+			}
 		}
+		m.memWaitAt = m.now + 1
 	}
-	return stats.CatNoC
+	return m.memWaitCat
 }
 
 // requestRollover is invoked by an RCC L2 partition whose timestamps are
@@ -505,6 +558,9 @@ func (m *Machine) requestRollover() {
 	}
 	for _, l2 := range m.rccL2s {
 		l2.Freeze(true)
+	}
+	for _, sm := range m.sms {
+		sm.SetRollover(true)
 	}
 	// Force-wake the SMs so sleeping ones split their accounting interval
 	// at the freeze and start charging CatRollover.
@@ -546,6 +602,9 @@ func (m *Machine) tickRollover(now timing.Cycle) bool {
 		}
 		for _, l2 := range m.rccL2s {
 			l2.Freeze(false)
+		}
+		for _, sm := range m.sms {
+			sm.SetRollover(false)
 		}
 		m.st.Rollovers++
 		m.st.RolloverStall += uint64(now - m.roStart)

@@ -226,6 +226,21 @@ func (c *Calendar[T]) Push(at Cycle, v T) {
 	c.next, c.maxAt = lo, hi
 }
 
+// Reserve sizes the ring for events at most span cycles apart, replacing
+// the default (generously large) first-Push ring for queues with a known
+// short horizon. The ring still grows on demand if the span estimate is
+// exceeded. No-op once the calendar holds or has held items.
+func (c *Calendar[T]) Reserve(span int) {
+	if c.buckets != nil || span <= 0 {
+		return
+	}
+	size := 64
+	for size <= span {
+		size *= 2
+	}
+	c.init(size)
+}
+
 // init sizes the ring and seeds every bucket with a small slice carved
 // from one shared backing array, so the common ≤4-items-per-cycle case
 // never allocates per bucket.

@@ -95,13 +95,31 @@ func build(cfg config.Config, rng *timing.RNG, gen func(b *tb, sm, warp int)) *P
 	var wrng timing.RNG
 	b := &tb{rng: &wrng}
 	hint := 64
+	// Traces are carved from one arena per SM: each warp gets a window of
+	// cap hint; an append past the window reallocates (correct, just off
+	// the arena), and a warp that fits advances the carve point by its
+	// actual length, so homogeneous warps pack tightly. This turns
+	// warps-per-SM trace allocations into one.
+	var arena []Instr
+	used := 0
 	for sm := 0; sm < cfg.NumSMs; sm++ {
 		p.SMs[sm] = make([]Trace, cfg.WarpsPerSM)
+		if cap(arena)-used < hint*cfg.WarpsPerSM {
+			arena = make([]Instr, 0, hint*cfg.WarpsPerSM)
+			used = 0
+		}
 		for w := 0; w < cfg.WarpsPerSM; w++ {
 			rng.ForkInto(&wrng)
-			b.t = make(Trace, 0, hint)
+			if used+hint <= cap(arena) {
+				b.t = arena[used : used : used+hint]
+			} else {
+				b.t = make(Trace, 0, hint)
+			}
 			gen(b, sm, w)
 			p.SMs[sm][w] = b.t
+			if len(b.t) <= hint && used+hint <= cap(arena) {
+				used += len(b.t) // stayed inside its arena window
+			}
 			if len(b.t) > hint {
 				hint = len(b.t)
 			}
