@@ -104,7 +104,13 @@ type SM struct {
 	gto    bool // greedy-then-oldest instead of loose round-robin
 	greedy int  // GTO: warp that issued last
 	liveN  int
-	nextID *uint64
+
+	// Request ids are allocated per SM, strided by the SM count, so id
+	// streams from different SMs never collide yet need no shared counter
+	// (the sharded run loop issues from several SMs concurrently). The
+	// n-th request of SM s gets id n*NumSMs + s + 1; ids stay nonzero.
+	idSeq    uint64
+	idStride uint64
 
 	// Tracker and Request pools. Trackers live in a slot-indexed slice;
 	// each Request carries its tracker's slot so completion needs no map.
@@ -216,19 +222,18 @@ func (s *SM) reclassify(w *warp) {
 	setBit(s.cand, w.id, !sc && !w.atBarrier && !(w.done && w.subSlot < 0))
 }
 
-// NewSM builds an SM running the given warp traces through l1. nextID is
-// the machine-wide request-id counter.
-func NewSM(cfg config.Config, id int, l1 coherence.L1, st *stats.Run, traces []workload.Trace, nextID *uint64, obs Observer) *SM {
+// NewSM builds an SM running the given warp traces through l1.
+func NewSM(cfg config.Config, id int, l1 coherence.L1, st *stats.Run, traces []workload.Trace, obs Observer) *SM {
 	s := &SM{
-		cfg:    cfg,
-		id:     id,
-		sc:     cfg.Consistency() == config.SC,
-		l1:     l1,
-		st:     st,
-		obs:    obs,
-		nextID: nextID,
-		dirty:  true,
-		gto:    cfg.Scheduler == config.GTO,
+		cfg:      cfg,
+		id:       id,
+		sc:       cfg.Consistency() == config.SC,
+		l1:       l1,
+		st:       st,
+		obs:      obs,
+		idStride: uint64(cfg.NumSMs),
+		dirty:    true,
+		gto:      cfg.Scheduler == config.GTO,
 	}
 	s.acctCat = stats.CatDrained
 	s.busyFar = timing.Never
@@ -676,10 +681,10 @@ func (s *SM) drainSubmit(w *warp, now timing.Cycle) bool {
 	tr := s.trackers[w.subSlot]
 	progress := false
 	for len(w.subLines) > 0 {
-		*s.nextID++
+		s.idSeq++
 		r := s.allocReq()
 		*r = coherence.Request{
-			ID:    *s.nextID,
+			ID:    (s.idSeq-1)*s.idStride + uint64(s.id) + 1,
 			Class: tr.class,
 			Line:  w.subLines[0],
 			Warp:  w.id,
@@ -689,7 +694,7 @@ func (s *SM) drainSubmit(w *warp, now timing.Cycle) bool {
 		}
 		if !s.l1.Access(r, now) {
 			s.freeReqs = append(s.freeReqs, r)
-			*s.nextID--
+			s.idSeq--
 			break
 		}
 		w.subLines = w.subLines[1:]
@@ -782,6 +787,10 @@ func (s *SM) checkBarrier() {
 
 // SetTracer attaches the event bus (nil disables tracing).
 func (s *SM) SetTracer(tr *trace.Bus) { s.tr = tr }
+
+// SetStats rebinds the SM's counter set (the sharded run loop points each
+// shard's SMs at a private stats.Run and merges at the end).
+func (s *SM) SetStats(st *stats.Run) { s.st = st }
 
 // MemDone implements coherence.Sink.
 func (s *SM) MemDone(r *coherence.Request, now timing.Cycle) {

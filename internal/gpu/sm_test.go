@@ -88,9 +88,8 @@ func run(t *testing.T, sm *SM, l1 *fakeL1, limit int) timing.Cycle {
 func build(t *testing.T, cfg config.Config, traces []workload.Trace, obs Observer) (*SM, *fakeL1) {
 	t.Helper()
 	l1 := &fakeL1{delay: 50}
-	var id uint64
 	st := stats.New()
-	sm := NewSM(cfg, 0, l1, st, traces, &id, obs)
+	sm := NewSM(cfg, 0, l1, st, traces, obs)
 	l1.sink = sm
 	return sm, l1
 }

@@ -145,6 +145,24 @@ func (n *Network) Tick(now timing.Cycle) bool {
 // NextEvent returns the earliest pending delivery time.
 func (n *Network) NextEvent() timing.Cycle { return n.inflight.NextReady() }
 
+// PopDue removes and returns the next in-flight message whose delivery
+// cycle is at most limit, together with that delivery cycle. Messages come
+// out in exact delivery order — (cycle, send order) — the same order Tick
+// would deliver them. The sharded run loop uses this at an epoch barrier
+// to collect every delivery landing inside the epoch; the caller becomes
+// responsible for invoking Deliver at the right cycle.
+func (n *Network) PopDue(limit timing.Cycle) (*coherence.Msg, timing.Cycle, bool) {
+	at := n.inflight.NextReady()
+	if at > limit {
+		return nil, 0, false
+	}
+	m, ok := n.inflight.PopReady(at)
+	if !ok {
+		return nil, 0, false
+	}
+	return m, at, true
+}
+
 // Drained reports whether no messages are in flight.
 func (n *Network) Drained() bool { return n.inflight.Len() == 0 }
 

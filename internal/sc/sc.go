@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"rccsim/internal/timing"
 	"rccsim/internal/workload"
@@ -282,6 +283,10 @@ type Recorder struct {
 	// program order within a warp; under WO litmus traces are fenced.
 	perThread map[int][]uint64
 	maxWarps  int
+	// Sharded machines call LoadObserved from several shard goroutines.
+	// Each warp stays pinned to one shard, so per-key append order is
+	// still completion order; only the map itself needs the lock.
+	mu sync.Mutex
 }
 
 // NewRecorder builds a recorder; maxWarps is WarpsPerSM.
@@ -291,6 +296,8 @@ func NewRecorder(maxWarps int) *Recorder {
 
 // LoadObserved implements gpu.Observer.
 func (r *Recorder) LoadObserved(sm, warp, pc int, line, val uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	key := sm*r.maxWarps + warp
 	r.perThread[key] = append(r.perThread[key], val)
 }

@@ -46,8 +46,27 @@ type Machine struct {
 	tr      *trace.Bus
 	pool    *coherence.MsgPool
 	now     timing.Cycle
-	nextID  uint64
 	done    bool // latched: a finished machine never becomes un-done
+
+	// Sharded execution (cfg.Shards > 1). The SMs and their L1s are
+	// partitioned into contiguous ranges, one per shard; each epoch of
+	// `epoch` cycles runs the shard ranges on parallel goroutines between
+	// barriers, with every cross-component interaction (NoC sends, L2
+	// work, rollover phases) deferred to the serial part of the barrier.
+	// The epoch length is the NoC's minimum delivery latency, so every
+	// message delivered inside an epoch was already in flight when the
+	// epoch began. fullTrace and hasHeat force the sequential loop (their
+	// sinks are not shard-aware); construction wiring is identical either
+	// way, so a fallen-back machine still produces bit-identical results.
+	effShards int
+	epoch     timing.Cycle
+	shardLo   []int // SM/L1 index range of shard k: [shardLo[k], shardHi[k])
+	shardHi   []int
+	shardOf   []int // inverse map: SM index -> shard index
+	ports     []*deferredPort // one per shard; nil entries when sequential
+	shardTr   []*trace.Bus    // per-shard buses (AttachShardTracers)
+	fullTrace bool
+	hasHeat   bool
 
 	// Active-set scheduling: per-component wake times. Step only ticks a
 	// component once the current cycle reaches its wake time; wake times
@@ -69,17 +88,34 @@ type Machine struct {
 	l1WakeMin timing.Cycle
 	l2WakeMin timing.Cycle
 
-	// memWait memoizes MemWaitCat for one cycle: the DRAM scan behind it
-	// is O(partitions) and every drained SM asks the same question.
-	memWaitAt  timing.Cycle
+	// memWaitCat is the drained-SM memory-wait category, resampled at
+	// epoch-grid points (multiples of `epoch`): the first visited cycle at
+	// or past memGridAt re-reads the DRAM channels. Grid granularity makes
+	// the sampled value identical between the sequential and sharded run
+	// loops — DRAM state only changes on L2 ticks, which the sharded loop
+	// runs serially per epoch, so both loops observe the same state at
+	// each grid point.
+	memGridAt  timing.Cycle
 	memWaitCat stats.CycleCat
 
-	// RCC rollover coordination.
+	// RCC rollover coordination. Every phase transition happens on the
+	// epoch grid: a partition's rollover request latches roPending, and
+	// the freeze — like the later stall→flush→done transitions — is
+	// applied at the next grid cycle (roGridAt, Never when idle). The
+	// sharded loop performs the same transitions at its barriers, which
+	// sit exactly on the grid, so rollover timing is shard-invariant.
 	rccL1s    []*core.L1
 	rccL2s    []*core.L2
 	roState   int
+	roPending bool
+	roGridAt  timing.Cycle
 	roReadyAt timing.Cycle
 	roStart   timing.Cycle
+}
+
+// gridAfter returns the first epoch-grid cycle strictly after now.
+func (m *Machine) gridAfter(now timing.Cycle) timing.Cycle {
+	return (now/m.epoch + 1) * m.epoch
 }
 
 // New builds a machine for cfg executing prog. obs may be nil; it receives
@@ -100,6 +136,41 @@ func New(cfg config.Config, prog *workload.Program, obs gpu.Observer) (*Machine,
 		backing: mem.NewBacking(),
 	}
 	m.network = noc.New(cfg, m.st)
+
+	// Epoch grid: the conservative NoC lookahead. Every message spends at
+	// least one serialization cycle plus the router pipeline in flight, so
+	// anything delivered within `epoch` cycles of a grid point was already
+	// in the delivery calendar at that point. Grid geometry is derived
+	// from the config alone — never from the shard count — so grid-snapped
+	// decisions (rollover phases, memory-wait sampling) land on the same
+	// cycles whether the machine runs sequentially or sharded.
+	m.epoch = timing.Cycle(cfg.NoCPipeLatency) + 1
+	m.roGridAt = timing.Never
+
+	// Shard plan. SC-IDEAL's idealized invalidations call into remote L1s
+	// synchronously (zapL1 bypasses the interconnect), so it cannot defer
+	// cross-core effects to a barrier and always runs sequentially.
+	m.effShards = cfg.Shards
+	if m.effShards > cfg.NumSMs {
+		m.effShards = cfg.NumSMs
+	}
+	if m.effShards < 1 || cfg.Protocol == config.SCIdeal {
+		m.effShards = 1
+	}
+	if m.effShards > 1 {
+		m.shardLo = make([]int, m.effShards)
+		m.shardHi = make([]int, m.effShards)
+		m.ports = make([]*deferredPort, m.effShards)
+		m.shardOf = make([]int, cfg.NumSMs)
+		for k := 0; k < m.effShards; k++ {
+			m.shardLo[k] = k * cfg.NumSMs / m.effShards
+			m.shardHi[k] = (k + 1) * cfg.NumSMs / m.effShards
+			m.ports[k] = &deferredPort{net: m.network}
+			for s := m.shardLo[k]; s < m.shardHi[k]; s++ {
+				m.shardOf[s] = k
+			}
+		}
+	}
 
 	drams := make([]*mem.DRAM, cfg.L2Partitions)
 	for p := range drams {
@@ -130,25 +201,31 @@ func New(cfg config.Config, prog *workload.Program, obs gpu.Observer) (*Machine,
 		m.network.Register(coherence.L2NodeID(p, cfg.NumSMs), l2)
 	}
 
-	// SMs and their L1s.
+	// SMs and their L1s. When sharded, an L1 injects through its shard's
+	// deferredPort: a passthrough to the network in sequential phases, a
+	// send log replayed in global order at the epoch barrier otherwise.
 	for s := 0; s < cfg.NumSMs; s++ {
+		var port coherence.Port = m.network
+		if m.effShards > 1 {
+			port = m.ports[m.shardOf[s]]
+		}
 		var l1 coherence.L1
 		switch cfg.Protocol {
 		case config.RCC, config.RCCWO:
 			clk := core.NewClock(cfg.Protocol == config.RCCWO)
-			r := core.NewL1(cfg, s, m.network, nil, m.st, clk)
+			r := core.NewL1(cfg, s, port, nil, m.st, clk)
 			m.rccL1s = append(m.rccL1s, r)
 			l1 = r
 		case config.TCS:
-			l1 = tc.NewL1(cfg, s, false, m.network, nil, m.st)
+			l1 = tc.NewL1(cfg, s, false, port, nil, m.st)
 		case config.TCW:
-			l1 = tc.NewL1(cfg, s, true, m.network, nil, m.st)
+			l1 = tc.NewL1(cfg, s, true, port, nil, m.st)
 		case config.MESI, config.SCIdeal:
-			l1 = mesi.NewL1(cfg, s, m.network, nil, m.st)
+			l1 = mesi.NewL1(cfg, s, port, nil, m.st)
 		}
 		m.l1s = append(m.l1s, l1)
 		m.network.Register(s, l1)
-		sm := gpu.NewSM(cfg, s, l1, m.st, prog.SMs[s], &m.nextID, obs)
+		sm := gpu.NewSM(cfg, s, l1, m.st, prog.SMs[s], obs)
 		sm.SetEnvProbe(m)
 		m.sms = append(m.sms, sm)
 		bindSink(l1, sm)
@@ -276,6 +353,8 @@ type tracerTarget interface {
 // Call it before Run; a nil bus detaches tracing everywhere.
 func (m *Machine) AttachTracer(tr *trace.Bus) {
 	m.tr = tr
+	m.fullTrace = tr != nil
+	m.shardTr = nil
 	m.network.SetTracer(tr)
 	for _, l1 := range m.l1s {
 		if t, ok := l1.(tracerTarget); ok {
@@ -296,6 +375,47 @@ func (m *Machine) AttachTracer(tr *trace.Bus) {
 	tr.BindStats(m.st)
 }
 
+// Shards returns the machine's effective shard count after clamping (at
+// least 1, at most NumSMs, and 1 for SC-IDEAL).
+func (m *Machine) Shards() int { return m.effShards }
+
+// AttachShardTracers wires shard-aware tracing: main receives the events
+// of the serially executed parts (network, L2 partitions, DRAM, rollover
+// phases) and buses[k] receives the events of shard k's L1s and SMs.
+// Unlike AttachTracer this does not force the sequential run loop — each
+// bus is written from at most one goroutine at any moment. len(buses)
+// must equal Shards(). Call before Run; used by the differential checker
+// to keep its invariant sinks race-free under sharded execution.
+func (m *Machine) AttachShardTracers(main *trace.Bus, buses []*trace.Bus) error {
+	if len(buses) != m.effShards {
+		return fmt.Errorf("sim: got %d shard buses, machine has %d shards", len(buses), m.effShards)
+	}
+	m.tr = main
+	m.fullTrace = false
+	m.shardTr = buses
+	m.network.SetTracer(main)
+	for _, l2 := range m.l2s {
+		if t, ok := l2.(tracerTarget); ok {
+			t.SetTracer(main)
+		}
+	}
+	for p, d := range m.drams {
+		d.SetTracer(main, p)
+	}
+	for s, l1 := range m.l1s {
+		k := 0
+		if m.shardOf != nil {
+			k = m.shardOf[s]
+		}
+		if t, ok := l1.(tracerTarget); ok {
+			t.SetTracer(buses[k])
+		}
+		m.sms[s].SetTracer(buses[k])
+	}
+	main.BindStats(m.st)
+	return nil
+}
+
 // heatTarget is implemented by every controller that can sample per-line
 // contention; AttachHeat fans out through it.
 type heatTarget interface {
@@ -307,6 +427,7 @@ type heatTarget interface {
 // stats.Run, the sketch becomes owned by this (single-threaded) machine —
 // never share one between concurrently running machines.
 func (m *Machine) AttachHeat(h *obs.Heat) {
+	m.hasHeat = h != nil
 	for _, l1 := range m.l1s {
 		if t, ok := l1.(heatTarget); ok {
 			t.SetHeat(h)
@@ -357,7 +478,7 @@ func (m *Machine) Done() bool {
 	if m.done {
 		return true
 	}
-	if !m.network.Drained() || m.roState != roIdle {
+	if !m.network.Drained() || m.roState != roIdle || m.roPending {
 		return false
 	}
 	for _, sm := range m.sms {
@@ -389,6 +510,16 @@ func (m *Machine) Step() bool {
 	now := m.now
 	m.tr.CycleReached(now)
 	did := false
+	// Grid-snapped machine-level work first: a rollover phase change at a
+	// grid cycle freezes or thaws the components before any of them tick
+	// this cycle — exactly when the sharded loop's barrier would apply it.
+	if now == m.roGridAt && m.rolloverGrid(now) {
+		did = true
+		m.wakeAll(now + 1)
+	}
+	if now >= m.memGridAt {
+		m.sampleMemWait(now)
+	}
 	if m.smWakeMin <= now {
 		min := timing.Never
 		for i, sm := range m.sms {
@@ -445,11 +576,6 @@ func (m *Machine) Step() bool {
 		}
 		m.l2WakeMin = min
 	}
-	if m.roState != roIdle && m.tickRollover(now) {
-		did = true
-		m.wakeAll(now + 1)
-	}
-
 	if did {
 		m.now = now + 1
 		return true
@@ -471,14 +597,20 @@ func (m *Machine) nextEvent(now timing.Cycle) timing.Cycle {
 	next := timing.Min(m.smWakeMin, m.l1WakeMin)
 	next = timing.Min(next, m.l2WakeMin)
 	next = timing.Min(next, m.network.NextEvent())
-	if m.roState != roIdle {
-		next = timing.Min(next, m.roReadyAt)
-	}
-	return next
+	// roGridAt is Never outside rollover windows; during one it forces a
+	// visit to each grid cycle so phase transitions land exactly on grid.
+	return timing.Min(next, m.roGridAt)
 }
 
-// Run executes until completion and returns the final counters.
+// Run executes until completion and returns the final counters. With
+// cfg.Shards > 1 the machine runs its shard partition on parallel
+// goroutines (see shard.go) unless a whole-machine tracer or contention
+// sketch is attached — those sinks are not shard-aware, so such runs fall
+// back to the sequential loop; either way the results are bit-identical.
 func (m *Machine) Run() (*stats.Run, error) {
+	if m.effShards > 1 && !m.fullTrace && !m.hasHeat {
+		return m.runSharded()
+	}
 	idleJumps := 0
 	// Done is only re-evaluated after a Step that did work: an idle step
 	// changes nothing but the clock, so its doneness verdict cannot differ
@@ -522,37 +654,69 @@ func (m *Machine) finishAccounting() {
 func (m *Machine) RolloverActive() bool { return m.roState != roIdle }
 
 // MemWaitCat implements gpu.EnvProbe: a drained SM's memory wait counts as
-// DRAM time whenever any channel has commands pending, else NoC time. The
-// answer is memoized per cycle — DRAM state cannot change while the SMs
-// tick (channels advance only via the L2s, later in the same Step), and
-// every drained SM asks the same question. The memo stores now+1 as its
-// validity stamp so the zero value never matches cycle 0.
-func (m *Machine) MemWaitCat() stats.CycleCat {
-	if m.memWaitAt != m.now+1 {
-		m.memWaitCat = stats.CatNoC
-		for _, d := range m.drams {
-			if d.Pending() > 0 {
-				m.memWaitCat = stats.CatDRAM
-				break
-			}
+// DRAM time whenever any channel had commands pending at the last epoch-grid
+// sample, else NoC time. The value is held for a whole grid epoch so every
+// SM — on whichever shard — charges the same category; see sampleMemWait.
+func (m *Machine) MemWaitCat() stats.CycleCat { return m.memWaitCat }
+
+// sampleMemWait re-reads the DRAM channels at an epoch-grid boundary. Both
+// run loops call it with the first cycle they visit at or past memGridAt;
+// the cycles may differ between loops, but the observed value cannot: no
+// L2 (and therefore no DRAM channel) does work on an unvisited cycle.
+func (m *Machine) sampleMemWait(now timing.Cycle) {
+	m.memWaitCat = stats.CatNoC
+	for _, d := range m.drams {
+		if d.Pending() > 0 {
+			m.memWaitCat = stats.CatDRAM
+			break
 		}
-		m.memWaitAt = m.now + 1
 	}
-	return m.memWaitCat
+	m.memGridAt = m.gridAfter(now)
 }
 
 // requestRollover is invoked by an RCC L2 partition whose timestamps are
-// about to overflow (Sec. III-D).
+// about to overflow (Sec. III-D). The request only latches a flag: the
+// machine-wide freeze is applied at the next epoch-grid cycle, which is a
+// barrier in the sharded loop. The deferral is bounded by one epoch, and
+// the partitions' overflow thresholds carry far more headroom than that,
+// so timestamps cannot overflow while the request is pending.
 func (m *Machine) requestRollover() {
-	if m.roState != roIdle {
+	if m.roState != roIdle || m.roPending {
 		return
 	}
+	m.roPending = true
+	m.roGridAt = m.gridAfter(m.now)
+}
+
+// rolloverGrid runs the grid-snapped rollover work due at cycle now (an
+// epoch-grid cycle): applying a pending freeze, or advancing the active
+// stall/flush state machine. It reports whether anything happened and
+// re-arms roGridAt for the next grid visit while rollover work remains.
+func (m *Machine) rolloverGrid(now timing.Cycle) bool {
+	did := false
+	if m.roPending {
+		m.roPending = false
+		m.applyRollover(now)
+		did = true
+	} else if m.roState != roIdle {
+		did = m.tickRollover(now)
+	}
+	if m.roState == roIdle && !m.roPending {
+		m.roGridAt = timing.Never
+	} else {
+		m.roGridAt = now + m.epoch
+	}
+	return did
+}
+
+// applyRollover performs the machine-wide freeze that starts a rollover.
+func (m *Machine) applyRollover(now timing.Cycle) {
 	m.roState = roStalling
-	m.roStart = m.now
-	m.tr.Rollover(m.now, trace.RolloverStall, -1, 0)
+	m.roStart = now
+	m.tr.Rollover(now, trace.RolloverStall, -1, 0)
 	// Ring stall: a flit visits every partition before processing stops
 	// everywhere.
-	m.roReadyAt = m.now + timing.Cycle(4*m.cfg.L2Partitions)
+	m.roReadyAt = now + timing.Cycle(4*m.cfg.L2Partitions)
 	for _, l1 := range m.rccL1s {
 		l1.Freeze(true)
 	}
@@ -562,9 +726,6 @@ func (m *Machine) requestRollover() {
 	for _, sm := range m.sms {
 		sm.SetRollover(true)
 	}
-	// Force-wake the SMs so sleeping ones split their accounting interval
-	// at the freeze and start charging CatRollover.
-	m.wakeAll(m.now + 1)
 }
 
 // tickRollover advances the rollover state machine.

@@ -287,6 +287,71 @@ type Run struct {
 // New returns an empty counter set.
 func New() *Run { return &Run{} }
 
+// Merge folds src's counters into r. Every field of Run is either a sum
+// (counters, histogram buckets) or a running maximum, so merging per-shard
+// counter sets in any order yields exactly the totals a single shared set
+// would have accumulated — the property the sharded run loop relies on for
+// digest-identical results. Cycles is excluded: it is machine time, set
+// once by the run loop, not a per-component tally.
+func (r *Run) Merge(src *Run) {
+	r.Instructions += src.Instructions
+	r.MemOps += src.MemOps
+	for i := range r.CycleAccount {
+		r.CycleAccount[i] += src.CycleAccount[i]
+	}
+	r.MemOpsStalled += src.MemOpsStalled
+	for i := range r.SCStallCycles {
+		r.SCStallCycles[i] += src.SCStallCycles[i]
+	}
+	r.SCStallEvents += src.SCStallEvents
+	r.LocalStallCycles += src.LocalStallCycles
+	r.FenceStallCycles += src.FenceStallCycles
+	r.Fences += src.Fences
+	for i := range r.Latency {
+		r.Latency[i].Sum += src.Latency[i].Sum
+		r.Latency[i].Count += src.Latency[i].Count
+		if src.Latency[i].Max > r.Latency[i].Max {
+			r.Latency[i].Max = src.Latency[i].Max
+		}
+	}
+	for i := range r.LatencyHist {
+		for b := range r.LatencyHist[i].Buckets {
+			r.LatencyHist[i].Buckets[b] += src.LatencyHist[i].Buckets[b]
+		}
+		r.LatencyHist[i].Count += src.LatencyHist[i].Count
+		if src.LatencyHist[i].Max > r.LatencyHist[i].Max {
+			r.LatencyHist[i].Max = src.LatencyHist[i].Max
+		}
+	}
+	r.L1Loads += src.L1Loads
+	r.L1LoadHits += src.L1LoadHits
+	r.L1LoadExpired += src.L1LoadExpired
+	r.L1LoadMisses += src.L1LoadMisses
+	r.L1Stores += src.L1Stores
+	r.L1Evictions += src.L1Evictions
+	r.L1Renewed += src.L1Renewed
+	r.L2Accesses += src.L2Accesses
+	r.L2Misses += src.L2Misses
+	r.L2Evictions += src.L2Evictions
+	r.L2StoreStallCycles += src.L2StoreStallCycles
+	r.ExpiredGets += src.ExpiredGets
+	r.ExpiredGetsRenewable += src.ExpiredGetsRenewable
+	r.PredictorGrows += src.PredictorGrows
+	r.PredictorDrops += src.PredictorDrops
+	r.Rollovers += src.Rollovers
+	r.RolloverStall += src.RolloverStall
+	r.DRAMReads += src.DRAMReads
+	r.DRAMWrites += src.DRAMWrites
+	r.DRAMRowHits += src.DRAMRowHits
+	r.DRAMRowMisses += src.DRAMRowMisses
+	for i := range r.Msgs {
+		r.Msgs[i] += src.Msgs[i]
+		r.Flits[i] += src.Flits[i]
+	}
+	r.Invalidations += src.Invalidations
+	r.Recalls += src.Recalls
+}
+
 // Traffic records one message of class c with the given flit count.
 func (r *Run) Traffic(c MsgClass, flits int) {
 	r.Msgs[c]++

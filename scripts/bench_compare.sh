@@ -4,22 +4,51 @@
 # than BENCH_TOLERANCE percent (default 10). Only compare files recorded
 # on the same host: simCycles/s is host-dependent.
 #
-# Usage: scripts/bench_compare.sh BASELINE.json CURRENT.json
+# Usage: scripts/bench_compare.sh [BASELINE.json CURRENT.json]
 #        BENCH_TOLERANCE=5 scripts/bench_compare.sh BENCH_1.json BENCH_2.json
+#
+# With no arguments, compares the two highest-numbered BENCH_<n>.json in
+# the repo root — the same pair a fresh bench_baseline.sh run would extend
+# — so CI does not need editing every time a baseline lands.
 set -euo pipefail
 
-if [ $# -ne 2 ]; then
-	echo "usage: $0 BASELINE.json CURRENT.json" >&2
+case $# in
+0)
+	# Numeric sort on the <n> in BENCH_<n>.json; lexical sort would put
+	# BENCH_10 before BENCH_2.
+	mapfile -t files < <(ls BENCH_[0-9]*.json 2>/dev/null | sort -t_ -k2 -n)
+	if [ "${#files[@]}" -lt 2 ]; then
+		echo "bench_compare: need at least two BENCH_<n>.json baselines, found ${#files[@]}" >&2
+		exit 2
+	fi
+	base="${files[-2]}"
+	cur="${files[-1]}"
+	;;
+2)
+	base="$1"
+	cur="$2"
+	;;
+*)
+	echo "usage: $0 [BASELINE.json CURRENT.json]" >&2
 	exit 2
-fi
-base="$1"
-cur="$2"
+	;;
+esac
 tol="${BENCH_TOLERANCE:-10}"
 
 throughput() {
 	# Pull simCycles/s out of the BenchmarkSimulatorThroughput entry.
-	grep -o '"name": "BenchmarkSimulatorThroughput"[^}]*' "$1" |
-		grep -o '"simCycles/s": [0-9.]*' | awk '{print $2}'
+	# Splitting records on '}' keeps each benchmark object together
+	# regardless of the key order inside it (the old name-then-metric grep
+	# silently returned nothing if simCycles/s preceded name).
+	awk -v RS='}' '
+		/"name": *"BenchmarkSimulatorThroughput"/ {
+			if (match($0, /"simCycles\/s": *[0-9.]+/)) {
+				v = substr($0, RSTART, RLENGTH)
+				sub(/.*: */, "", v)
+				print v
+				exit
+			}
+		}' "$1"
 }
 
 b="$(throughput "$base")"
@@ -27,6 +56,19 @@ c="$(throughput "$cur")"
 if [ -z "$b" ] || [ -z "$c" ]; then
 	echo "bench_compare: BenchmarkSimulatorThroughput missing from $base or $cur" >&2
 	exit 2
+fi
+
+host() {
+	awk -v RS=',' '/"host": *"/ { sub(/.*"host": *"/, ""); sub(/".*/, ""); print; exit }' "$1"
+}
+hb="$(host "$base")"
+hc="$(host "$cur")"
+if [ -n "$hb" ] && [ -n "$hc" ] && [ "$hb" != "$hc" ]; then
+	# Different recording hosts: simCycles/s is not comparable. Succeed
+	# loudly rather than fail on noise — the next same-host baseline pair
+	# re-arms the check.
+	echo "bench_compare: $base ($hb) and $cur ($hc) were recorded on different hosts; skipping comparison" >&2
+	exit 0
 fi
 
 awk -v b="$b" -v c="$c" -v tol="$tol" -v bf="$base" -v cf="$cur" 'BEGIN {
