@@ -5,6 +5,7 @@
 //
 //	rccbench [-scale f] [-seed n] [-small] [-j N] [-progress]
 //	         [-trace file [-trace-format jsonl|perfetto] [-metrics-interval N]]
+//	         [-spans N [-spans-out file] [-spans-folded file]]
 //	         [-cpuprofile file] [-memprofile file] <experiment>...
 //
 // Experiments: fig1 fig6 fig7 fig8 fig9 fig10 table1 table3 table4 table5
@@ -26,6 +27,7 @@ import (
 	"rccsim/internal/config"
 	"rccsim/internal/experiments"
 	"rccsim/internal/obs"
+	"rccsim/internal/obs/span"
 	"rccsim/internal/report"
 	"rccsim/internal/sim"
 	"rccsim/internal/trace"
@@ -47,6 +49,10 @@ var (
 	serveAddr = flag.String("serve", "", "serve live introspection (/metrics, /runs, /healthz, /debug/pprof) on this address, e.g. :8080")
 	hotspots  = flag.Int("hotspots", 0, "print the top-N contended cache lines after a 'stats' run (0 = off)")
 	stacksOut = flag.String("stacks", "", "write folded cycle stacks of a 'stats' run to this file (flamegraph.pl input)")
+
+	spansN      = flag.Int("spans", 0, "record a causal span for every Nth memory op of a 'stats' run (0 = off)")
+	spansOut    = flag.String("spans-out", "", "write the span summary (waterfalls, critical path, slowest ops) as JSON to this file")
+	spansFolded = flag.String("spans-folded", "", "write sampled spans as folded segment stacks to this file (flamegraph.pl input)")
 
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -82,10 +88,14 @@ func realMain() int {
 	if *progress {
 		r.Progress = experiments.StderrProgress(os.Stderr, "rccbench")
 	}
+	var spans *span.Recorder
+	if *spansN > 0 {
+		spans = span.NewRecorder(*spansN)
+	}
 	var tracker *obs.Tracker
 	if *serveAddr != "" {
 		tracker = obs.NewTracker(obs.NewRegistry())
-		addr, err := obs.StartServer(*serveAddr, tracker.Registry(), tracker)
+		addr, err := obs.StartServerSpans(*serveAddr, tracker.Registry(), tracker, spans)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
 			return 1
@@ -103,7 +113,7 @@ func realMain() int {
 	}
 
 	if args[0] == "stats" {
-		if err := statsReport(r.Base, tracker, args[1:]); err != nil {
+		if err := statsReport(r.Base, tracker, spans, args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
 			return 1
 		}
@@ -159,29 +169,33 @@ func startProfiles() (stop func(), err error) {
 }
 
 // newTraceBus builds the event bus requested by -trace/-trace-format/
-// -metrics-interval, or (nil, noop, nil) when tracing is off. The returned
+// -metrics-interval, or (nil, nil, noop, nil) when tracing is off. The
+// perfetto result is the concrete sink when that format was chosen, so the
+// stats path can append span flow events to it before close. The returned
 // close function flushes the sinks and the file.
-func newTraceBus() (*trace.Bus, func() error, error) {
+func newTraceBus() (*trace.Bus, *trace.PerfettoSink, func() error, error) {
 	noop := func() error { return nil }
 	if *traceOut == "" {
 		if *metricsIvl > 0 {
-			return nil, noop, fmt.Errorf("-metrics-interval requires -trace")
+			return nil, nil, noop, fmt.Errorf("-metrics-interval requires -trace")
 		}
-		return nil, noop, nil
+		return nil, nil, noop, nil
 	}
 	f, err := os.Create(*traceOut)
 	if err != nil {
-		return nil, noop, err
+		return nil, nil, noop, err
 	}
 	var dst trace.Sink
+	var perf *trace.PerfettoSink
 	switch *traceFormat {
 	case "jsonl":
 		dst = trace.NewJSONLSink(f)
 	case "perfetto":
-		dst = trace.NewPerfettoSink(f)
+		perf = trace.NewPerfettoSink(f)
+		dst = perf
 	default:
 		f.Close()
-		return nil, noop, fmt.Errorf("unknown -trace-format %q (want jsonl or perfetto)", *traceFormat)
+		return nil, nil, noop, fmt.Errorf("unknown -trace-format %q (want jsonl or perfetto)", *traceFormat)
 	}
 	var sinks []trace.Sink
 	if *metricsIvl > 0 {
@@ -189,7 +203,7 @@ func newTraceBus() (*trace.Bus, func() error, error) {
 	}
 	sinks = append(sinks, dst)
 	bus := trace.NewBus(sinks...)
-	return bus, func() error {
+	return bus, perf, func() error {
 		err := bus.Close()
 		if cerr := f.Close(); err == nil {
 			err = cerr
@@ -452,9 +466,10 @@ func yesno(b bool) string {
 }
 
 // statsReport runs one benchmark under one protocol and prints the full
-// per-run report, plus the optional -hotspots table and -stacks folded
-// cycle-account output.
-func statsReport(base config.Config, tracker *obs.Tracker, args []string) error {
+// per-run report, plus the optional -hotspots table, -stacks folded
+// cycle-account output, and the -spans causal-span section with its
+// -spans-out / -spans-folded exports.
+func statsReport(base config.Config, tracker *obs.Tracker, spans *span.Recorder, args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: rccbench stats <bench> <protocol>")
 	}
@@ -474,7 +489,7 @@ func statsReport(base config.Config, tracker *obs.Tracker, args []string) error 
 	}
 	cfg := base
 	cfg.Protocol = proto
-	bus, closeBus, err := newTraceBus()
+	bus, perf, closeBus, err := newTraceBus()
 	if err != nil {
 		return err
 	}
@@ -489,8 +504,11 @@ func statsReport(base config.Config, tracker *obs.Tracker, args []string) error 
 	label := fmt.Sprintf("%s/%v", b.Name, proto)
 	tracker.SetTotal(1)
 	tracker.Begin(label)
-	res, err := sim.RunBenchmarkObserved(cfg, b, bus, heat)
+	res, err := sim.RunBenchmarkSpanned(cfg, b, bus, heat, spans)
 	tracker.Done(label, res.Stats)
+	if perf != nil && spans != nil {
+		perf.WriteSpanFlows(spans.Flows())
+	}
 	if cerr := closeBus(); err == nil {
 		err = cerr
 	}
@@ -499,6 +517,10 @@ func statsReport(base config.Config, tracker *obs.Tracker, args []string) error 
 	}
 	header(fmt.Sprintf("%s under %v", b.Name, proto))
 	fmt.Print(report.Format(cfg, res.Stats))
+	fmt.Print(report.FormatSpans(cfg, spans, 5))
+	if err := writeSpanFiles(cfg, spans); err != nil {
+		return err
+	}
 	if heat != nil {
 		header(fmt.Sprintf("top %d contended lines", *hotspots))
 		heat.WriteTable(os.Stdout, *hotspots)
@@ -516,6 +538,48 @@ func statsReport(base config.Config, tracker *obs.Tracker, args []string) error 
 			return werr
 		}
 		fmt.Fprintf(os.Stderr, "rccbench: wrote folded cycle stacks to %s\n", *stacksOut)
+	}
+	return nil
+}
+
+// writeSpanFiles dumps the -spans-out JSON summary and -spans-folded
+// segment stacks after a 'stats' run. Both are no-ops when span recording
+// is off; asking for the files without -spans is an error (the dumps would
+// be empty and silently useless).
+func writeSpanFiles(cfg config.Config, spans *span.Recorder) error {
+	if spans == nil {
+		if *spansOut != "" || *spansFolded != "" {
+			return fmt.Errorf("-spans-out/-spans-folded require -spans N")
+		}
+		return nil
+	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			return err
+		}
+		werr := spans.WriteJSON(f, 10)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "rccbench: wrote span summary to %s\n", *spansOut)
+	}
+	if *spansFolded != "" {
+		f, err := os.Create(*spansFolded)
+		if err != nil {
+			return err
+		}
+		werr := spans.WriteFolded(f, cfg.Protocol.String())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "rccbench: wrote folded span stacks to %s\n", *spansFolded)
 	}
 	return nil
 }

@@ -123,6 +123,14 @@ type Msg struct {
 	ReqID uint64 // request token, echoed in responses
 	Warp  int    // originating warp (core-local), echoed in responses
 
+	// Span is the causal-span ID (== the tracked request's ID) carried
+	// so the NoC and L2 can blame their cycles on the right op; zero
+	// means untracked, which is the case whenever span recording is
+	// off. Requests stamp it at the L1, responses echo it. Exactly one
+	// message chain per span carries it at a time (invalidation and
+	// flush fan-outs keep zero), so segment marks never interleave.
+	Span uint64
+
 	// Timestamp payloads; logical (RCC) or physical (TC) per protocol.
 	Now uint64
 	Exp uint64

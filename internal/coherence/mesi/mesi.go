@@ -16,6 +16,7 @@ import (
 	"rccsim/internal/config"
 	"rccsim/internal/mem"
 	"rccsim/internal/obs"
+	"rccsim/internal/obs/span"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -39,6 +40,9 @@ type l1MSHR struct {
 	squash bool
 	loads  []*coherence.Request
 	stores []*coherence.Request
+	// span is the causal-span ID riding the in-flight GetS (0 when the
+	// initiating load is untracked); coalescing loads edge on it.
+	span uint64
 }
 
 func (m *l1MSHR) empty() bool { return len(m.loads) == 0 && len(m.stores) == 0 }
@@ -71,6 +75,8 @@ type L1 struct {
 	wake func()
 
 	heat *obs.Heat // per-line contention sampling (nil disables)
+
+	sp *span.Recorder // causal spans for sampled requests (nil disables)
 }
 
 // NewL1 builds the controller.
@@ -102,6 +108,9 @@ func (c *L1) SetStats(st *stats.Run) { c.st = st }
 // SetHeat attaches the contention sketch (nil disables sampling).
 func (c *L1) SetHeat(h *obs.Heat) { c.heat = h }
 
+// SetSpans attaches the causal-span recorder (nil disables).
+func (c *L1) SetSpans(sp *span.Recorder) { c.sp = sp }
+
 func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
 }
@@ -132,6 +141,9 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 	if e != nil {
 		c.st.L1LoadHits++
 		c.tags.Touch(e)
+		if c.sp != nil {
+			c.sp.Mark(r.ID, span.SegL1, now)
+		}
 		r.Data = e.Meta.Val
 		c.sink.MemDone(r, now)
 		return true
@@ -149,14 +161,21 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 	m.loads = append(m.loads, r)
 	if !m.getsOut {
 		m.getsOut = true
+		if c.sp.Tracked(r.ID) {
+			m.span = r.ID
+			c.sp.Mark(r.ID, span.SegL1, now)
+		}
 		msg := c.pool.Get()
 		*msg = coherence.Msg{
 			Type: coherence.GetS,
 			Line: r.Line,
 			Src:  c.id,
 			Dst:  c.l2node(r.Line),
+			Span: m.span,
 		}
 		c.port.Send(msg, now)
+	} else if c.sp.Tracked(r.ID) {
+		c.sp.Edge(r.ID, m.span, "coalesce")
 	}
 	return true
 }
@@ -188,6 +207,11 @@ func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
 		typ = coherence.AtomicReq
 		atomic = true
 	}
+	var sp uint64
+	if c.sp.Tracked(r.ID) {
+		sp = r.ID
+		c.sp.Mark(r.ID, span.SegL1, now)
+	}
 	msg := c.pool.Get()
 	*msg = coherence.Msg{
 		Type:   typ,
@@ -198,6 +222,7 @@ func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
 		Warp:   r.Warp,
 		Val:    r.Val,
 		Atomic: atomic,
+		Span:   sp,
 	}
 	c.port.Send(msg, now)
 	return true
@@ -273,6 +298,7 @@ func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
 				Line: m.Line,
 				Src:  c.id,
 				Dst:  c.l2node(m.Line),
+				Span: mshr.span,
 			}
 			c.port.Send(gets, now)
 		} else if mshr.empty() {
@@ -289,7 +315,11 @@ func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
 		// copy would be stale and untracked the moment the write performs.
 		c.tr.L1State(now, c.id, m.Line, "fill-bypassed")
 		mshr.getsOut = false
+		mshr.span = 0
 		for _, r := range mshr.loads {
+			if c.sp != nil && r.ID != m.Span {
+				c.sp.Mark(r.ID, span.SegCoalesce, now)
+			}
 			r.Data = m.Val
 			c.sink.MemDone(r, now)
 		}
@@ -321,7 +351,11 @@ func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
 		return
 	}
 	mshr.getsOut = false
+	mshr.span = 0
 	for _, r := range mshr.loads {
+		if c.sp != nil && r.ID != m.Span {
+			c.sp.Mark(r.ID, span.SegCoalesce, now)
+		}
 		r.Data = m.Val
 		c.sink.MemDone(r, now)
 	}
@@ -393,6 +427,7 @@ type invWait struct {
 	pending int
 	write   *coherence.Msg
 	queued  []*coherence.Msg
+	started timing.Cycle // round start, for the tracked writer's inv-wait sub-span
 }
 
 // L2 is one directory partition.
@@ -419,6 +454,8 @@ type L2 struct {
 	pool      *coherence.MsgPool
 
 	heat *obs.Heat // per-line contention sampling (nil disables)
+
+	sp *span.Recorder // causal spans for sampled requests (nil disables)
 }
 
 // NewL2 builds partition part. For SC-IDEAL (ideal=true), zap must
@@ -451,6 +488,9 @@ func (c *L2) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
 
 // SetHeat attaches the contention sketch (nil disables sampling).
 func (c *L2) SetHeat(h *obs.Heat) { c.heat = h }
+
+// SetSpans attaches the causal-span recorder (nil disables).
+func (c *L2) SetSpans(sp *span.Recorder) { c.sp = sp }
 
 // Deliver implements coherence.L2. Directory-maintenance messages (PutS,
 // InvAck) travel on their own virtual network and are serviced by the
@@ -534,6 +574,9 @@ func (c *L2) handle(m *coherence.Msg, now timing.Cycle) bool {
 		c.pool.Put(m)
 		return true
 	}
+	if m.Span != 0 {
+		c.sp.Mark(m.Span, span.SegL2Pipe, now)
+	}
 	if w, ok := c.invs[m.Line]; ok {
 		// An invalidation round owns the line; queue behind it.
 		w.queued = append(w.queued, m)
@@ -564,6 +607,7 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 		Src:  c.nodeID,
 		Dst:  m.Src,
 		Val:  e.Meta.Val,
+		Span: m.Span,
 	}
 	c.port.Send(resp, now)
 	c.pool.Put(m)
@@ -588,7 +632,7 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 	}
 	// Invalidate every sharer; the write completes when all ack.
 	c.tr.L2State(now, c.part, m.Line, "inv-round", 0, 0)
-	w := &invWait{write: m}
+	w := &invWait{write: m, started: now}
 	c.invs[m.Line] = w
 	for core := 0; core < c.cfg.NumSMs; core++ {
 		if sharers&(1<<uint(core)) != 0 {
@@ -625,6 +669,7 @@ func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
 		Dst:   m.Src,
 		ReqID: m.ReqID,
 		Warp:  m.Warp,
+		Span:  m.Span,
 	}
 	if m.Type == coherence.AtomicReq {
 		resp.Type = coherence.Data
@@ -646,6 +691,11 @@ func (c *L2) ack(m *coherence.Msg, now timing.Cycle) {
 	}
 	delete(c.invs, m.Line)
 	if w.write != nil {
+		if w.write.Span != 0 {
+			// The invalidation round the store just waited out.
+			c.sp.Mark(w.write.Span, span.SegProto, now)
+			c.sp.AddChild(w.write.Span, "inv-wait", w.started, now)
+		}
 		if e := c.tags.Lookup(m.Line); e != nil {
 			c.st.L2Accesses++
 			c.performWrite(w.write, &e.Meta, now)
@@ -658,6 +708,10 @@ func (c *L2) ack(m *coherence.Msg, now timing.Cycle) {
 	// Recall rounds (write == nil) leave the line clean of sharers; the
 	// stalled fill retries and can now evict it.
 	for _, q := range w.queued {
+		if q.Span != 0 {
+			// Queued behind the round: protocol blame, not pipe time.
+			c.sp.Mark(q.Span, span.SegProto, now)
+		}
 		if !c.handle(q, now) {
 			c.deferred = append(c.deferred, q)
 		}
@@ -675,7 +729,7 @@ func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
 			c.st.L2Misses--
 			return false
 		}
-		c.dram.Submit(mem.DRAMReq{Line: m.Line, ID: m.Line}, now)
+		c.dram.Submit(mem.DRAMReq{Line: m.Line, ID: m.Line, Span: m.Span}, now)
 	}
 	switch m.Type {
 	case coherence.GetS:
@@ -694,6 +748,7 @@ func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
 			Dst:   m.Src,
 			ReqID: m.ReqID,
 			Warp:  m.Warp,
+			Span:  m.Span,
 		}
 		c.port.Send(ack, now)
 		c.pool.Put(m)
@@ -747,6 +802,9 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 	}
 	for _, r := range mshr.readers {
 		l.Sharers |= 1 << uint(r.Src)
+		if r.Span != 0 {
+			c.sp.Mark(r.Span, span.SegDRAM, now)
+		}
 		resp := c.pool.Get()
 		*resp = coherence.Msg{
 			Type: coherence.Data,
@@ -754,6 +812,7 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 			Src:  c.nodeID,
 			Dst:  r.Src,
 			Val:  l.Val,
+			Span: r.Span,
 		}
 		c.port.Send(resp, now)
 		c.pool.Put(r)
@@ -762,6 +821,9 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 	stalled := mshr.stalled
 	c.mshrs.Free(line)
 	for _, s := range stalled {
+		if s.Span != 0 {
+			c.sp.Mark(s.Span, span.SegDRAM, now)
+		}
 		if !c.handle(s, now) {
 			c.deferred = append(c.deferred, s)
 		}

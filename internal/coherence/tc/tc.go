@@ -16,6 +16,7 @@ import (
 	"rccsim/internal/config"
 	"rccsim/internal/mem"
 	"rccsim/internal/obs"
+	"rccsim/internal/obs/span"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -32,6 +33,9 @@ type l1MSHR struct {
 	getsOut bool
 	loads   []*coherence.Request
 	stores  []*coherence.Request
+	// span is the causal-span ID riding the in-flight GETS (0 when the
+	// initiating load is untracked); coalescing loads edge on it.
+	span uint64
 }
 
 // resetL1MSHR restores a recycled entry, keeping slice capacity.
@@ -65,6 +69,8 @@ type L1 struct {
 	wake func()
 
 	heat *obs.Heat // per-line contention sampling (nil disables)
+
+	sp *span.Recorder // causal spans for sampled requests (nil disables)
 }
 
 // NewL1 builds the controller; weak selects TC-Weak semantics.
@@ -98,6 +104,9 @@ func (c *L1) SetStats(st *stats.Run) { c.st = st }
 // SetHeat attaches the contention sketch (nil disables sampling).
 func (c *L1) SetHeat(h *obs.Heat) { c.heat = h }
 
+// SetSpans attaches the causal-span recorder (nil disables).
+func (c *L1) SetSpans(sp *span.Recorder) { c.sp = sp }
+
 func (c *L1) l2node(line uint64) int {
 	return coherence.L2NodeID(coherence.PartitionOf(line, c.cfg.L2Partitions), c.cfg.NumSMs)
 }
@@ -123,14 +132,23 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 	if m := c.mshrs.Get(r.Line); m != nil {
 		if c.readable(e, now) {
 			c.st.L1LoadHits++
+			if c.sp != nil {
+				c.sp.Mark(r.ID, span.SegL1, now)
+			}
 			r.Data = e.Meta.Val
 			c.sink.MemDone(r, now)
 			return true
 		}
 		m.loads = append(m.loads, r)
 		if !m.getsOut {
-			c.sendGets(r.Line, now)
+			if c.sp.Tracked(r.ID) {
+				m.span = r.ID
+				c.sp.Mark(r.ID, span.SegL1, now)
+			}
+			c.sendGets(r.Line, m.span, now)
 			m.getsOut = true
+		} else if c.sp.Tracked(r.ID) {
+			c.sp.Edge(r.ID, m.span, "coalesce")
 		}
 		return true
 	}
@@ -138,6 +156,9 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 	if c.readable(e, now) {
 		c.st.L1LoadHits++
 		c.tags.Touch(e)
+		if c.sp != nil {
+			c.sp.Mark(r.ID, span.SegL1, now)
+		}
 		r.Data = e.Meta.Val
 		c.sink.MemDone(r, now)
 		return true
@@ -164,11 +185,15 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 	}
 	m.getsOut = true
 	m.loads = append(m.loads, r)
-	c.sendGets(r.Line, now)
+	if c.sp.Tracked(r.ID) {
+		m.span = r.ID
+		c.sp.Mark(r.ID, span.SegL1, now)
+	}
+	c.sendGets(r.Line, m.span, now)
 	return true
 }
 
-func (c *L1) sendGets(line uint64, now timing.Cycle) {
+func (c *L1) sendGets(line uint64, sp uint64, now timing.Cycle) {
 	msg := c.pool.Get()
 	*msg = coherence.Msg{
 		Type: coherence.GetS,
@@ -176,6 +201,7 @@ func (c *L1) sendGets(line uint64, now timing.Cycle) {
 		Src:  c.id,
 		Dst:  c.l2node(line),
 		Now:  uint64(now),
+		Span: sp,
 	}
 	c.port.Send(msg, now)
 }
@@ -198,6 +224,11 @@ func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
 		typ = coherence.AtomicReq
 		atomic = true
 	}
+	var sp uint64
+	if c.sp.Tracked(r.ID) {
+		sp = r.ID
+		c.sp.Mark(r.ID, span.SegL1, now)
+	}
 	msg := c.pool.Get()
 	*msg = coherence.Msg{
 		Type:   typ,
@@ -209,6 +240,7 @@ func (c *L1) write(r *coherence.Request, now timing.Cycle) bool {
 		Now:    uint64(now),
 		Val:    r.Val,
 		Atomic: atomic,
+		Span:   sp,
 	}
 	c.port.Send(msg, now)
 	return true
@@ -268,7 +300,11 @@ func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
 		return
 	}
 	mshr.getsOut = false
+	mshr.span = 0
 	for _, r := range mshr.loads {
+		if c.sp != nil && r.ID != m.Span {
+			c.sp.Mark(r.ID, span.SegCoalesce, now)
+		}
 		r.Data = m.Val
 		c.sink.MemDone(r, now)
 	}
@@ -386,6 +422,8 @@ type L2 struct {
 	pool *coherence.MsgPool
 
 	heat *obs.Heat // per-line contention sampling (nil disables)
+
+	sp *span.Recorder // causal spans for sampled requests (nil disables)
 }
 
 // NewL2 builds partition part; weak selects TC-Weak.
@@ -416,6 +454,9 @@ func (c *L2) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
 
 // SetHeat attaches the contention sketch (nil disables sampling).
 func (c *L2) SetHeat(h *obs.Heat) { c.heat = h }
+
+// SetSpans attaches the causal-span recorder (nil disables).
+func (c *L2) SetSpans(sp *span.Recorder) { c.sp = sp }
 
 // Deliver implements coherence.L2: requests enter the access pipeline at
 // the delivery timestamp supplied by the interconnect.
@@ -469,6 +510,9 @@ func (c *L2) Tick(now timing.Cycle) bool {
 
 // handle processes one request; false means "defer and retry".
 func (c *L2) handle(m *coherence.Msg, now timing.Cycle) bool {
+	if m.Span != 0 {
+		c.sp.Mark(m.Span, span.SegL2Pipe, now)
+	}
 	// Requests for a line with a stalled store queue behind it in
 	// arrival order: the stalled store is the ordering point.
 	if q, ok := c.blocked[m.Line]; ok {
@@ -501,6 +545,12 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 		c.st.ExpiredGets++ // tracked for Fig 6 comparability
 	}
 	c.tr.Lease(now, trace.LeaseGrant, c.part, m.Line, uint64(now), uint64(lease), m.Src)
+	if m.Span != 0 {
+		// TC leases live in physical cycles, so the grant window is a
+		// true sub-span of the run.
+		c.sp.AddChild(m.Span, "lease-grant", now, lease)
+		c.sp.NoteLease(m.Line, m.Span)
+	}
 	resp := c.pool.Get()
 	*resp = coherence.Msg{
 		Type: coherence.Data,
@@ -509,6 +559,7 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 		Dst:  m.Src,
 		Exp:  uint64(lease),
 		Val:  l.Val,
+		Span: m.Span,
 	}
 	c.port.Send(resp, now)
 	c.pool.Put(m)
@@ -524,6 +575,10 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 		c.st.L2StoreStallCycles += uint64(l.GTS + 1 - now)
 		c.heat.Add(m.Line, obs.HeatExpiryWaits, -1)
 		c.tr.L2State(now, c.part, m.Line, "store-stall", uint64(now), uint64(l.GTS))
+		if m.Span != 0 {
+			c.sp.AddChild(m.Span, "expiry-wait", now, l.GTS+1)
+			c.sp.EdgeLease(m.Span, m.Line)
+		}
 		c.blocked[m.Line] = []*coherence.Msg{}
 		c.stallQ.Push(l.GTS+1, m)
 		return
@@ -557,6 +612,7 @@ func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
 		ReqID: m.ReqID,
 		Warp:  m.Warp,
 		Exp:   gwct,
+		Span:  m.Span,
 	}
 	if m.Type == coherence.AtomicReq {
 		resp.Type = coherence.Data
@@ -569,6 +625,10 @@ func (c *L2) performWrite(m *coherence.Msg, l *l2Line, now timing.Cycle) {
 // wakeStalledStore completes a TCS store whose lease wait ended, then
 // replays everything that queued behind it.
 func (c *L2) wakeStalledStore(m *coherence.Msg, now timing.Cycle) {
+	if m.Span != 0 {
+		// The lease wait the store just finished is protocol blame.
+		c.sp.Mark(m.Span, span.SegProto, now)
+	}
 	queued := c.blocked[m.Line]
 	delete(c.blocked, m.Line)
 	e := c.tags.Lookup(m.Line)
@@ -602,7 +662,7 @@ func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
 			c.st.L2Misses--
 			return false
 		}
-		c.dram.Submit(mem.DRAMReq{Line: m.Line, ID: m.Line}, now)
+		c.dram.Submit(mem.DRAMReq{Line: m.Line, ID: m.Line, Span: m.Span}, now)
 	}
 	switch m.Type {
 	case coherence.GetS:
@@ -621,6 +681,7 @@ func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
 			ReqID: m.ReqID,
 			Warp:  m.Warp,
 			Exp:   uint64(now),
+			Span:  m.Span,
 		}
 		c.port.Send(ack, now)
 		c.pool.Put(m)
@@ -668,6 +729,11 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 		l.GTS = lease
 		for _, r := range mshr.readers {
 			c.tr.Lease(now, trace.LeaseGrant, c.part, line, uint64(now), uint64(lease), r.Src)
+			if r.Span != 0 {
+				c.sp.Mark(r.Span, span.SegDRAM, now)
+				c.sp.AddChild(r.Span, "lease-grant", now, lease)
+				c.sp.NoteLease(line, r.Span)
+			}
 			resp := c.pool.Get()
 			*resp = coherence.Msg{
 				Type: coherence.Data,
@@ -676,6 +742,7 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 				Dst:  r.Src,
 				Exp:  uint64(lease),
 				Val:  l.Val,
+				Span: r.Span,
 			}
 			c.port.Send(resp, now)
 			c.pool.Put(r)
@@ -685,6 +752,9 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 	stalled := mshr.stalled
 	c.mshrs.Free(line)
 	for _, s := range stalled {
+		if s.Span != 0 {
+			c.sp.Mark(s.Span, span.SegProto, now)
+		}
 		if !c.handle(s, now) {
 			c.deferred = append(c.deferred, s)
 		}

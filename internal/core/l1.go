@@ -5,6 +5,7 @@ import (
 	"rccsim/internal/config"
 	"rccsim/internal/mem"
 	"rccsim/internal/obs"
+	"rccsim/internal/obs/span"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -40,6 +41,10 @@ type l1MSHR struct {
 	renewing bool // the GETS carried an expired copy (renewal opportunity)
 	loads    []*coherence.Request
 	stores   []*coherence.Request // awaiting ACK (stores) or atomic DATA
+	// span is the causal-span ID riding the in-flight GETS (0 when the
+	// initiating load is untracked); later tracked loads that coalesce
+	// into this entry record a dependency edge on it.
+	span uint64
 }
 
 func (m *l1MSHR) empty() bool { return len(m.loads) == 0 && len(m.stores) == 0 }
@@ -78,6 +83,9 @@ type L1 struct {
 
 	// heat, when non-nil, receives per-line contention samples.
 	heat *obs.Heat
+
+	// sp, when non-nil, records causal spans for sampled requests.
+	sp *span.Recorder
 
 	// wake, when non-nil, notifies the SM that this Tick may have freed
 	// resources it is polling for (an MSHR slot); set from SetSink when the
@@ -118,6 +126,9 @@ func (c *L1) SetStats(st *stats.Run) { c.st = st }
 
 // SetHeat attaches the contention sketch (nil disables sampling).
 func (c *L1) SetHeat(h *obs.Heat) { c.heat = h }
+
+// SetSpans attaches the causal-span recorder (nil disables).
+func (c *L1) SetSpans(sp *span.Recorder) { c.sp = sp }
 
 // RenewPending reports whether any in-flight GETS is a lease-renewal
 // opportunity (the SM cycle accounting's lease-renew refinement).
@@ -173,17 +184,28 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 		// VI: the pre-write copy remains readable by other warps.
 		if m.state == stateVI && c.readable(e) {
 			c.st.L1LoadHits++
+			if c.sp != nil {
+				c.sp.Mark(r.ID, span.SegL1, now)
+			}
 			c.complete(r, e.Meta.Val, now)
 			return true
 		}
 		m.loads = append(m.loads, r)
 		if !m.getsOut {
-			c.sendGets(r.Line, e, now)
+			if c.sp.Tracked(r.ID) {
+				m.span = r.ID
+				c.sp.Mark(r.ID, span.SegL1, now)
+			}
+			c.sendGets(r.Line, e, m.span, now)
 			m.getsOut = true
 			if e != nil && !m.renewing {
 				m.renewing = true
 				c.renewsPending++
 			}
+		} else if c.sp.Tracked(r.ID) {
+			// Joined an in-flight GETS: the whole wait is coalesce
+			// time, causally blocked on the carrier op.
+			c.sp.Edge(r.ID, m.span, "coalesce")
 		}
 		return true
 	}
@@ -192,6 +214,9 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 		if c.readable(e) {
 			c.st.L1LoadHits++
 			c.tags.Touch(e)
+			if c.sp != nil {
+				c.sp.Mark(r.ID, span.SegL1, now)
+			}
 			c.complete(r, e.Meta.Val, now)
 			return true
 		}
@@ -223,13 +248,18 @@ func (c *L1) load(r *coherence.Request, now timing.Cycle) bool {
 	m.state = stateIV
 	m.getsOut = true
 	m.loads = append(m.loads, r)
-	c.sendGets(r.Line, e, now)
+	if c.sp.Tracked(r.ID) {
+		m.span = r.ID
+		c.sp.Mark(r.ID, span.SegL1, now)
+	}
+	c.sendGets(r.Line, e, m.span, now)
 	return true
 }
 
 // sendGets issues a GETS carrying the core's read view and, for the
 // renewal mechanism, the expiration of the stale copy if one is present.
-func (c *L1) sendGets(line uint64, e *mem.Entry[l1Line], now timing.Cycle) {
+// sp is the causal-span ID of the initiating load (0 when untracked).
+func (c *L1) sendGets(line uint64, e *mem.Entry[l1Line], sp uint64, now timing.Cycle) {
 	var oldExp uint64
 	if e != nil {
 		oldExp = e.Meta.Exp
@@ -242,6 +272,7 @@ func (c *L1) sendGets(line uint64, e *mem.Entry[l1Line], now timing.Cycle) {
 		Dst:  c.l2node(line),
 		Now:  c.clk.ReadNow(),
 		Exp:  oldExp,
+		Span: sp,
 	}
 	c.port.Send(msg, now)
 }
@@ -267,6 +298,11 @@ func (c *L1) store(r *coherence.Request, now timing.Cycle) bool {
 		c.tr.L1State(now, c.id, r.Line, "IV->II")
 	}
 	m.stores = append(m.stores, r)
+	var sp uint64
+	if c.sp.Tracked(r.ID) {
+		sp = r.ID
+		c.sp.Mark(r.ID, span.SegL1, now)
+	}
 	msg := c.pool.Get()
 	*msg = coherence.Msg{
 		Type:  coherence.Write,
@@ -277,6 +313,7 @@ func (c *L1) store(r *coherence.Request, now timing.Cycle) bool {
 		Warp:  r.Warp,
 		Now:   c.clk.WriteNow(),
 		Val:   r.Val,
+		Span:  sp,
 	}
 	c.port.Send(msg, now)
 	return true
@@ -301,6 +338,11 @@ func (c *L1) atomic(r *coherence.Request, now timing.Cycle) bool {
 		c.tr.L1State(now, c.id, r.Line, "IV->II")
 	}
 	m.stores = append(m.stores, r)
+	var sp uint64
+	if c.sp.Tracked(r.ID) {
+		sp = r.ID
+		c.sp.Mark(r.ID, span.SegL1, now)
+	}
 	msg := c.pool.Get()
 	*msg = coherence.Msg{
 		Type:   coherence.AtomicReq,
@@ -312,6 +354,7 @@ func (c *L1) atomic(r *coherence.Request, now timing.Cycle) bool {
 		Now:    c.clk.WriteNow(),
 		Val:    r.Val,
 		Atomic: true,
+		Span:   sp,
 	}
 	c.port.Send(msg, now)
 	return true
@@ -394,11 +437,15 @@ func (c *L1) handleData(m *coherence.Msg, now timing.Cycle) {
 		return // response raced a rollover flush
 	}
 	mshr.getsOut = false
+	mshr.span = 0
 	if mshr.renewing {
 		mshr.renewing = false
 		c.renewsPending--
 	}
 	for _, r := range mshr.loads {
+		if c.sp != nil && r.ID != m.Span {
+			c.sp.Mark(r.ID, span.SegCoalesce, now)
+		}
 		c.complete(r, m.Val, now)
 	}
 	mshr.loads = mshr.loads[:0]
@@ -427,6 +474,7 @@ func (c *L1) handleRenew(m *coherence.Msg, now timing.Cycle) {
 		return
 	}
 	mshr.getsOut = false
+	mshr.span = 0
 	if mshr.renewing {
 		mshr.renewing = false
 		c.renewsPending--
@@ -434,6 +482,9 @@ func (c *L1) handleRenew(m *coherence.Msg, now timing.Cycle) {
 	if e != nil {
 		for _, r := range mshr.loads {
 			c.st.L1Renewed++
+			if c.sp != nil && r.ID != m.Span {
+				c.sp.Mark(r.ID, span.SegCoalesce, now)
+			}
 			c.complete(r, e.Meta.Val, now)
 		}
 		mshr.loads = mshr.loads[:0]

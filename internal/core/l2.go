@@ -5,6 +5,7 @@ import (
 	"rccsim/internal/config"
 	"rccsim/internal/mem"
 	"rccsim/internal/obs"
+	"rccsim/internal/obs/span"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -79,6 +80,8 @@ type L2 struct {
 	tsGuard     uint64 // trigger threshold: TSMax minus headroom
 
 	heat *obs.Heat // per-line contention sampling (nil disables)
+
+	sp *span.Recorder // causal spans for sampled requests (nil disables)
 }
 
 // NewL2 builds partition part. rollover is invoked (once per trigger) when
@@ -119,6 +122,9 @@ func (c *L2) SetMsgPool(p *coherence.MsgPool) { c.pool = p }
 
 // SetHeat attaches the contention sketch (nil disables sampling).
 func (c *L2) SetHeat(h *obs.Heat) { c.heat = h }
+
+// SetSpans attaches the causal-span recorder (nil disables).
+func (c *L2) SetSpans(sp *span.Recorder) { c.sp = sp }
 
 // Deliver implements coherence.L2: requests enter the access pipeline at
 // the delivery timestamp supplied by the interconnect.
@@ -197,6 +203,11 @@ func (c *L2) handle(m *coherence.Msg, now timing.Cycle) bool {
 	if c.checkRollover(m) {
 		return false
 	}
+	if m.Span != 0 {
+		// Bank pipeline plus any defer/replay wait telescopes into the
+		// L2-pipe segment; a repeated mark just extends it.
+		c.sp.Mark(m.Span, span.SegL2Pipe, now)
+	}
 	e := c.tags.Lookup(m.Line)
 	if e != nil {
 		if c.timestampsHigh(&e.Meta) {
@@ -253,6 +264,10 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 		}
 		c.heat.Add(m.Line, obs.HeatRenewals, -1)
 		c.tr.Lease(now, trace.LeaseRenew, c.part, m.Line, l.Ver, l.Exp, m.Src)
+		if m.Span != 0 {
+			c.sp.AddChild(m.Span, "lease-renew", now, now)
+			c.sp.NoteLease(m.Line, m.Span)
+		}
 		resp := c.pool.Get()
 		*resp = coherence.Msg{
 			Type: coherence.Renew,
@@ -261,12 +276,17 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 			Dst:  m.Src,
 			Exp:  l.Exp,
 			Ver:  l.Ver,
+			Span: m.Span,
 		}
 		c.port.Send(resp, now)
 		c.pool.Put(m)
 		return
 	}
 	c.tr.Lease(now, trace.LeaseGrant, c.part, m.Line, l.Ver, l.Exp, m.Src)
+	if m.Span != 0 {
+		c.sp.AddChild(m.Span, "lease-grant", now, now)
+		c.sp.NoteLease(m.Line, m.Span)
+	}
 	resp := c.pool.Get()
 	*resp = coherence.Msg{
 		Type: coherence.Data,
@@ -276,6 +296,7 @@ func (c *L2) getsHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) {
 		Exp:  l.Exp,
 		Ver:  l.Ver,
 		Val:  l.Val,
+		Span: m.Span,
 	}
 	c.port.Send(resp, now)
 	c.pool.Put(m)
@@ -309,6 +330,7 @@ func (c *L2) writeHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle) 
 		ReqID: m.ReqID,
 		Warp:  m.Warp,
 		Ver:   l.Ver,
+		Span:  m.Span,
 	}
 	c.port.Send(resp, now)
 	c.pool.Put(m)
@@ -345,6 +367,7 @@ func (c *L2) atomicHit(m *coherence.Msg, e *mem.Entry[l2Line], now timing.Cycle)
 		Ver:    l.Ver,
 		Val:    old,
 		Atomic: true,
+		Span:   m.Span,
 	}
 	c.port.Send(resp, now)
 	c.pool.Put(m)
@@ -381,7 +404,7 @@ func (c *L2) miss(m *coherence.Msg, now timing.Cycle) bool {
 			mshr.lastWr = m.Now
 			mshr.atomic = m
 		}
-		c.dram.Submit(mem.DRAMReq{Line: m.Line, ID: m.Line}, now)
+		c.dram.Submit(mem.DRAMReq{Line: m.Line, ID: m.Line, Span: m.Span}, now)
 		return true
 	}
 
@@ -427,6 +450,7 @@ func (c *L2) ackWrite(m *coherence.Msg, now timing.Cycle) {
 		ReqID: m.ReqID,
 		Warp:  m.Warp,
 		Ver:   maxU(mshr.lastWr, c.mnow),
+		Span:  m.Span,
 	}
 	c.port.Send(resp, now)
 }
@@ -471,6 +495,9 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 		l.Val = old + m.Val
 		l.Dirty = true
 		l.Pred = c.cfg.RCCMinLease
+		if m.Span != 0 {
+			c.sp.Mark(m.Span, span.SegDRAM, now)
+		}
 		resp := c.pool.Get()
 		*resp = coherence.Msg{
 			Type:   coherence.Data,
@@ -483,6 +510,7 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 			Ver:    l.Ver,
 			Val:    old,
 			Atomic: true,
+			Span:   m.Span,
 		}
 		c.port.Send(resp, now)
 		c.pool.Put(m)
@@ -499,6 +527,11 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 			l.Exp = maxU(l.Exp, maxU(l.Ver+lease, mshr.lastRd+lease))
 			for _, r := range mshr.readers {
 				c.tr.Lease(now, trace.LeaseGrant, c.part, line, l.Ver, l.Exp, r.Src)
+				if r.Span != 0 {
+					c.sp.Mark(r.Span, span.SegDRAM, now)
+					c.sp.AddChild(r.Span, "lease-grant", now, now)
+					c.sp.NoteLease(line, r.Span)
+				}
 				resp := c.pool.Get()
 				*resp = coherence.Msg{
 					Type: coherence.Data,
@@ -508,6 +541,7 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 					Exp:  l.Exp,
 					Ver:  l.Ver,
 					Val:  l.Val,
+					Span: r.Span,
 				}
 				c.port.Send(resp, now)
 				c.pool.Put(r)
@@ -521,6 +555,10 @@ func (c *L2) fill(req mem.DRAMReq, now timing.Cycle) {
 	c.mshrs.Free(line)
 	// Replay stalled requests in arrival order (they hit in V now).
 	for _, s := range stalled {
+		if s.Span != 0 {
+			// The IAV hold was a protocol stall, not pipe occupancy.
+			c.sp.Mark(s.Span, span.SegProto, now)
+		}
 		if !c.handle(s, now) {
 			c.deferred = append(c.deferred, s)
 		}

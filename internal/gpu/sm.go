@@ -14,6 +14,7 @@ import (
 
 	"rccsim/internal/coherence"
 	"rccsim/internal/config"
+	"rccsim/internal/obs/span"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -98,6 +99,14 @@ type SM struct {
 	st  *stats.Run
 	tr  *trace.Bus
 	obs Observer
+	sp  *span.Recorder // causal spans for sampled requests (nil disables)
+
+	// lastSpanDone is the most recent tracked request to complete on this
+	// SM; barrierDep snapshots it when the block barrier releases, so the
+	// next tracked op issued after the release gets a "barrier" dependency
+	// edge (the barrier serialized it behind that completion).
+	lastSpanDone uint64
+	barrierDep   uint64
 
 	warps  []*warp
 	rr     int
@@ -692,7 +701,17 @@ func (s *SM) drainSubmit(w *warp, now timing.Cycle) bool {
 			Issue: tr.issue,
 			Slot:  w.subSlot,
 		}
+		if s.sp != nil && s.sp.Start(r.ID, s.id, w.id, r.Line, spanKind(tr.class), tr.issue) {
+			// The span opens at warp-instruction issue; the gap to the
+			// submit cycle (MSHR-full retries) telescopes into SegIssue.
+			s.sp.Mark(r.ID, span.SegIssue, now)
+			if s.barrierDep != 0 {
+				s.sp.Edge(r.ID, s.barrierDep, "barrier")
+				s.barrierDep = 0
+			}
+		}
 		if !s.l1.Access(r, now) {
+			s.sp.Abort(r.ID)
 			s.freeReqs = append(s.freeReqs, r)
 			s.idSeq--
 			break
@@ -783,10 +802,27 @@ func (s *SM) checkBarrier() {
 	}
 	s.barrierN = 0
 	s.dirty = true
+	if s.sp != nil && s.lastSpanDone != 0 {
+		s.barrierDep = s.lastSpanDone
+	}
 }
 
 // SetTracer attaches the event bus (nil disables tracing).
 func (s *SM) SetTracer(tr *trace.Bus) { s.tr = tr }
+
+// SetSpans attaches the causal-span recorder (nil disables).
+func (s *SM) SetSpans(sp *span.Recorder) { s.sp = sp }
+
+// spanKind maps the stats op class to the span vocabulary.
+func spanKind(c stats.OpClass) span.Kind {
+	switch c {
+	case stats.OpStore:
+		return span.Store
+	case stats.OpAtomic:
+		return span.Atomic
+	}
+	return span.Load
+}
 
 // SetStats rebinds the SM's counter set (the sharded run loop points each
 // shard's SMs at a private stats.Run and merges at the end).
@@ -799,6 +835,9 @@ func (s *SM) MemDone(r *coherence.Request, now timing.Cycle) {
 		return
 	}
 	tr := s.trackers[slot]
+	if s.sp != nil && s.sp.Finish(r.ID, span.SegReply, now) {
+		s.lastSpanDone = r.ID
+	}
 	s.freeReqs = append(s.freeReqs, r)
 	s.dirty = true
 	if s.obs != nil && tr.class != stats.OpStore {

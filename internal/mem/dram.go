@@ -2,6 +2,7 @@ package mem
 
 import (
 	"rccsim/internal/config"
+	"rccsim/internal/obs/span"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -12,6 +13,7 @@ type DRAMReq struct {
 	Line  uint64
 	Write bool
 	ID    uint64 // caller token, returned on completion
+	Span  uint64 // causal-span ID of the op this access serves (0 = untracked)
 }
 
 type dramBank struct {
@@ -41,6 +43,7 @@ type DRAM struct {
 	done     timing.Calendar[DRAMReq]
 	st       *stats.Run
 	tr       *trace.Bus
+	sp       *span.Recorder
 	part     int
 	rowLines uint64
 	lastTick timing.Cycle
@@ -74,6 +77,9 @@ func (d *DRAM) SetTracer(tr *trace.Bus, part int) {
 	d.tr = tr
 	d.part = part
 }
+
+// SetSpans attaches the causal-span recorder (nil disables).
+func (d *DRAM) SetSpans(sp *span.Recorder) { d.sp = sp }
 
 // Submit enqueues req at cycle now; the scheduler issues it later.
 func (d *DRAM) Submit(req DRAMReq, now timing.Cycle) {
@@ -177,6 +183,13 @@ func (d *DRAM) schedule(now timing.Cycle) bool {
 		d.st.DRAMWrites++
 	} else {
 		d.st.DRAMReads++
+	}
+	if p.req.Span != 0 {
+		why := "dram-row-miss"
+		if rowHit {
+			why = "dram-row-hit"
+		}
+		d.sp.AddChild(p.req.Span, why, p.arrival, completion)
 	}
 	d.done.Push(completion, p.req)
 	return true

@@ -9,6 +9,7 @@ package noc
 import (
 	"rccsim/internal/coherence"
 	"rccsim/internal/config"
+	"rccsim/internal/obs/span"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -30,6 +31,7 @@ type Network struct {
 	cfg   config.Config
 	st    *stats.Run
 	tr    *trace.Bus
+	sp    *span.Recorder
 	nodes []Node
 
 	// Per-port busy-until times, separately for the request direction
@@ -81,6 +83,9 @@ func (n *Network) Register(id int, node Node) { n.nodes[id] = node }
 // SetTracer attaches the event bus (nil disables tracing).
 func (n *Network) SetTracer(tr *trace.Bus) { n.tr = tr }
 
+// SetSpans attaches the causal-span recorder (nil disables).
+func (n *Network) SetSpans(sp *span.Recorder) { n.sp = sp }
+
 // Send injects m at cycle now. Delivery happens via Tick once the message
 // has traversed injection serialization, the router pipeline, and ejection
 // serialization.
@@ -114,6 +119,19 @@ func (n *Network) Send(m *coherence.Msg, now timing.Cycle) {
 	arrive := endTx + pipe
 	deliver := timing.Max(arrive, *dstFree+ser)
 	*dstFree = deliver
+
+	if m.Span != 0 {
+		// Pre-marking at future timestamps is safe: no component
+		// touches this span again before the delivery cycle, and the
+		// telescoping rule is monotone in `last` anyway.
+		if m.Src < n.cfg.NumSMs {
+			n.sp.Mark(m.Span, span.SegNoCReqQueue, startTx)
+			n.sp.Mark(m.Span, span.SegNoCReqWire, deliver)
+		} else {
+			n.sp.Mark(m.Span, span.SegNoCRspQueue, startTx)
+			n.sp.Mark(m.Span, span.SegNoCRspWire, deliver)
+		}
+	}
 
 	n.inflight.Push(deliver, m)
 }

@@ -195,7 +195,13 @@ func (h *Heat) TopK() []HeatEntry {
 }
 
 // Merge folds other's entries into h (sweeps merge per-point sketches).
-// Totals add; error bounds add conservatively.
+// Totals add; error bounds add conservatively. Merging is deliberately
+// order-independent: the accumulator takes the union of entry sets (it may
+// grow past K — a merge target holds at most points×K entries, and TopK
+// callers already slice to what they display) instead of evicting under
+// pressure the way Add does. Mid-merge eviction would make the surviving
+// set depend on the order point sketches are folded in — exactly the
+// completion-order nondeterminism a parallel (-j) sweep must not leak.
 func (h *Heat) Merge(other *Heat) {
 	if h == nil || other == nil {
 		return
@@ -204,14 +210,10 @@ func (h *Heat) Merge(other *Heat) {
 		oe := &other.entries[oi]
 		i, ok := h.index[oe.Line]
 		if !ok {
-			if len(h.entries) >= h.k {
-				i = h.evictMin()
-			} else {
-				h.entries = append(h.entries, HeatEntry{})
-				i = len(h.entries) - 1
-			}
-			err := h.entries[i].Err
-			h.entries[i] = HeatEntry{Line: oe.Line, Err: err, lastSM: -1}
+			// Adopt the line; write-adjacency (lastSM) does not survive a
+			// merge, so ping-pong counting stays per-machine.
+			h.entries = append(h.entries, HeatEntry{Line: oe.Line, lastSM: -1})
+			i = len(h.entries) - 1
 			h.index[oe.Line] = i
 		}
 		e := &h.entries[i]

@@ -130,3 +130,49 @@ func TestHeatDeterministic(t *testing.T) {
 		t.Fatalf("table missing header:\n%s", first)
 	}
 }
+
+// TestHeatMergeOrderIndependent is the -j-independence guard: a parallel
+// sweep's workers finish in nondeterministic order, so folding the same
+// per-point sketches into an accumulator in any permutation must produce
+// the same sketch after the canonical TopK sort — even when each point
+// saw eviction churn and the union of entry sets exceeds the accumulator's
+// K.
+func TestHeatMergeOrderIndependent(t *testing.T) {
+	const k, points = 8, 6
+	mkPoint := func(p int) *Heat {
+		h := NewHeat(k)
+		for i := 0; i < 400; i++ {
+			// Shared heavy hitters plus per-point cold lines fighting for
+			// slots, so each point sketch carries nonzero Err bounds.
+			h.Add(0x100, HeatWrites, p)
+			h.Add(uint64(0x1000+(p*997+i*31)%200*64), HeatReads, p)
+			if i%3 == 0 {
+				h.Add(uint64(0x200+uint64(p%2)*64), HeatRenewals, p)
+			}
+		}
+		return h
+	}
+	sketches := make([]*Heat, points)
+	for p := range sketches {
+		sketches[p] = mkPoint(p)
+	}
+	render := func(order []int) string {
+		out := NewHeat(k)
+		for _, p := range order {
+			out.Merge(sketches[p])
+		}
+		var sb strings.Builder
+		out.WriteTable(&sb, 0)
+		return sb.String()
+	}
+	want := render([]int{0, 1, 2, 3, 4, 5})
+	for _, order := range [][]int{
+		{5, 4, 3, 2, 1, 0},
+		{2, 0, 5, 1, 4, 3},
+		{3, 5, 0, 4, 2, 1},
+	} {
+		if got := render(order); got != want {
+			t.Fatalf("merge order %v changed the sketch:\n%s\nvs point order:\n%s", order, got, want)
+		}
+	}
+}

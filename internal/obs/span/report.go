@@ -1,0 +1,294 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Quantiles summarizes a latency distribution in cycles.
+type Quantiles struct {
+	P50 uint64 `json:"p50"`
+	P90 uint64 `json:"p90"`
+	P99 uint64 `json:"p99"`
+	Max uint64 `json:"max"`
+}
+
+func quantiles(v []uint64) Quantiles {
+	if len(v) == 0 {
+		return Quantiles{}
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	at := func(p float64) uint64 {
+		i := int(p * float64(len(v)-1))
+		return v[i]
+	}
+	return Quantiles{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: v[len(v)-1]}
+}
+
+// OpJSON is the wire form of one op for /spans and artifacts.
+type OpJSON struct {
+	ID       uint64            `json:"id"`
+	Kind     string            `json:"kind"`
+	SM       int               `json:"sm"`
+	Warp     int               `json:"warp"`
+	Line     uint64            `json:"line"`
+	Issue    uint64            `json:"issue"`
+	Finish   uint64            `json:"finish"`
+	Total    uint64            `json:"total"`
+	Segs     map[string]uint64 `json:"segs"`
+	Deps     []Dep             `json:"deps,omitempty"`
+	Children []ChildJSON       `json:"children,omitempty"`
+}
+
+// ChildJSON is the wire form of a protocol sub-span.
+type ChildJSON struct {
+	Why   string `json:"why"`
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+}
+
+// PathStep is one hop of the extracted critical path, oldest first.
+// Gap is the idle distance charged between this op's finish and the
+// next hop's finish.
+type PathStep struct {
+	ID    uint64 `json:"id"`
+	Kind  string `json:"kind"`
+	Why   string `json:"why,omitempty"`
+	Total uint64 `json:"total"`
+}
+
+// Critical is the longest causal chain over finished spans.
+type Critical struct {
+	Cycles uint64     `json:"cycles"`
+	Ops    int        `json:"ops"`
+	Path   []PathStep `json:"path,omitempty"`
+}
+
+// Summary is the /spans payload: distribution, blame, causality.
+type Summary struct {
+	Tracked  int                  `json:"tracked"`
+	Live     int                  `json:"live"`
+	Every    uint64               `json:"every"`
+	Total    Quantiles            `json:"total"`
+	Segments map[string]Quantiles `json:"segments"`
+	SegSum   map[string]uint64    `json:"seg_cycles"`
+	Critical Critical             `json:"critical_path"`
+	Slowest  []OpJSON             `json:"slowest"`
+}
+
+func opJSON(o *Op) OpJSON {
+	segs := make(map[string]uint64)
+	for s, n := range o.Segs {
+		if n != 0 {
+			segs[Seg(s).Name()] = n
+		}
+	}
+	var kids []ChildJSON
+	for _, c := range o.Children {
+		kids = append(kids, ChildJSON{Why: c.Why, Start: uint64(c.Start), End: uint64(c.End)})
+	}
+	return OpJSON{
+		ID: o.ID, Kind: o.Kind.String(), SM: o.SM, Warp: o.Warp, Line: o.Line,
+		Issue: uint64(o.Issue), Finish: uint64(o.Finish), Total: o.Total(),
+		Segs: segs, Deps: o.Deps, Children: kids,
+	}
+}
+
+// Summarize computes the waterfall/critical-path summary over finished
+// spans, keeping the topN slowest ops with full breakdowns.
+func (r *Recorder) Summarize(topN int) Summary {
+	ops := r.Done()
+	s := Summary{
+		Tracked:  len(ops),
+		Live:     r.LiveCount(),
+		Every:    r.Every(),
+		Segments: make(map[string]Quantiles),
+		SegSum:   make(map[string]uint64),
+	}
+	if len(ops) == 0 {
+		return s
+	}
+	totals := make([]uint64, len(ops))
+	perSeg := make([][]uint64, numSegs)
+	for i, o := range ops {
+		totals[i] = o.Total()
+		for g, n := range o.Segs {
+			s.SegSum[Seg(g).Name()] += n
+			perSeg[g] = append(perSeg[g], n)
+		}
+	}
+	s.Total = quantiles(totals)
+	for g := Seg(0); g < numSegs; g++ {
+		if s.SegSum[g.Name()] != 0 {
+			s.Segments[g.Name()] = quantiles(perSeg[g])
+		} else {
+			delete(s.SegSum, g.Name())
+		}
+	}
+	s.Critical = criticalPath(ops)
+
+	bySlow := make([]*Op, len(ops))
+	copy(bySlow, ops)
+	sort.Slice(bySlow, func(i, j int) bool {
+		if bySlow[i].Total() != bySlow[j].Total() {
+			return bySlow[i].Total() > bySlow[j].Total()
+		}
+		return bySlow[i].ID < bySlow[j].ID
+	})
+	if topN > len(bySlow) {
+		topN = len(bySlow)
+	}
+	for _, o := range bySlow[:topN] {
+		s.Slowest = append(s.Slowest, opJSON(o))
+	}
+	return s
+}
+
+// criticalPath runs the DP
+//
+//	cp(s) = max(dur(s), max over deps d with d.Finish <= s.Finish of
+//	             cp(d) + (s.Finish - d.Finish))
+//
+// over the finished-span DAG (edges restricted to non-increasing
+// finish times, so the walk is acyclic up to same-cycle ties, which a
+// visiting set breaks). By induction cp(s) <= s.Finish - minIssue, so
+// the extracted length never exceeds the run span; and cp(s) >= dur(s)
+// bounds it below by the slowest single op — the two invariants the
+// acceptance test pins.
+func criticalPath(ops []*Op) Critical {
+	byID := make(map[uint64]*Op, len(ops))
+	for _, o := range ops {
+		byID[o.ID] = o
+	}
+	memo := make(map[uint64]uint64, len(ops))
+	best := make(map[uint64]Dep) // argmax predecessor per op
+	visiting := make(map[uint64]bool)
+
+	var cp func(o *Op) uint64
+	cp = func(o *Op) uint64 {
+		if v, ok := memo[o.ID]; ok {
+			return v
+		}
+		if visiting[o.ID] {
+			return o.Total() // same-cycle tie loop: cut here
+		}
+		visiting[o.ID] = true
+		v := o.Total()
+		for _, d := range o.Deps {
+			p := byID[d.On]
+			if p == nil || p.Finish > o.Finish {
+				continue
+			}
+			c := cp(p) + uint64(o.Finish-p.Finish)
+			if c > v {
+				v = c
+				best[o.ID] = d
+			}
+		}
+		delete(visiting, o.ID)
+		memo[o.ID] = v
+		return v
+	}
+
+	var out Critical
+	var tail *Op
+	for _, o := range ops {
+		if v := cp(o); v > out.Cycles {
+			out.Cycles = v
+			tail = o
+		}
+	}
+	for o := tail; o != nil; {
+		step := PathStep{ID: o.ID, Kind: o.Kind.String(), Total: o.Total()}
+		d, ok := best[o.ID]
+		if ok {
+			step.Why = d.Why
+		}
+		out.Path = append(out.Path, step)
+		out.Ops++
+		if !ok || len(out.Path) > len(ops) {
+			break
+		}
+		o = byID[d.On]
+	}
+	// Reverse to oldest-first.
+	for i, j := 0, len(out.Path)-1; i < j; i, j = i+1, j-1 {
+		out.Path[i], out.Path[j] = out.Path[j], out.Path[i]
+	}
+	return out
+}
+
+// WriteJSON writes the Summarize(topN) payload as indented JSON — the
+// same bytes the /spans endpoint serves.
+func (r *Recorder) WriteJSON(w io.Writer, topN int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summarize(topN))
+}
+
+// WriteFolded emits collapsed-stack lines (`proto;kind;segment cycles`)
+// aggregated over all finished spans, ready for flamegraph.pl /
+// speedscope. Lines are sorted for byte-stable output.
+func (r *Recorder) WriteFolded(w io.Writer, proto string) error {
+	agg := make(map[string]uint64)
+	for _, o := range r.Done() {
+		for g, n := range o.Segs {
+			if n != 0 {
+				agg[fmt.Sprintf("%s;%s;%s", proto, o.Kind, Seg(g).Name())] += n
+			}
+		}
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, agg[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flow is the Perfetto flow-event form of one span: an arrow chain
+// through the machine's existing tracks, one step per recorded mark.
+type Flow struct {
+	ID    uint64
+	SM    int // issuing SM (the Perfetto thread the chain renders on)
+	Name  string
+	Steps []FlowStep
+}
+
+// FlowStep is one arrow anchor: the segment names the track the step
+// belongs on; At is the cycle timestamp.
+type FlowStep struct {
+	Seg string
+	At  uint64
+}
+
+// Flows exports finished spans as flow chains (issue anchor first,
+// then every mark in arrival order). Spans with no marks are skipped.
+func (r *Recorder) Flows() []Flow {
+	ops := r.Done()
+	out := make([]Flow, 0, len(ops))
+	for _, o := range ops {
+		if len(o.Marks) == 0 {
+			continue
+		}
+		f := Flow{
+			ID:    o.ID,
+			SM:    o.SM,
+			Name:  fmt.Sprintf("%s sm%d w%d line %#x", o.Kind, o.SM, o.Warp, o.Line),
+			Steps: make([]FlowStep, 0, len(o.Marks)+1),
+		}
+		f.Steps = append(f.Steps, FlowStep{Seg: SegIssue.Name(), At: uint64(o.Issue)})
+		for _, m := range o.Marks {
+			f.Steps = append(f.Steps, FlowStep{Seg: m.Seg.Name(), At: uint64(m.At)})
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -6,6 +6,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"rccsim/internal/config"
@@ -31,10 +32,9 @@ func Format(cfg config.Config, st *stats.Run) string {
 	if tot := st.TotalSCStallCycles(); tot > 0 {
 		fmt.Fprintf(&b, "SC stalls: %d cycles in %d episodes (mean %.0f)\n",
 			tot, st.SCStallEvents, st.MeanSCStallLatency())
+		pc := percentShares(st.SCStallCycles[:], tot)
 		fmt.Fprintf(&b, "  blamed on: load %.1f%%  store %.1f%%  atomic %.1f%%\n",
-			100*frac(st.SCStallCycles[stats.OpLoad], tot),
-			100*frac(st.SCStallCycles[stats.OpStore], tot),
-			100*frac(st.SCStallCycles[stats.OpAtomic], tot))
+			pc[stats.OpLoad], pc[stats.OpStore], pc[stats.OpAtomic])
 	}
 	if st.Fences > 0 {
 		fmt.Fprintf(&b, "fences: %d (stall cycles %d)\n", st.Fences, st.FenceStallCycles)
@@ -42,12 +42,13 @@ func Format(cfg config.Config, st *stats.Run) string {
 
 	if tot := st.TotalAccounted(); tot > 0 {
 		b.WriteString("\ntop-down cycle accounting (SM-cycles):\n")
+		pc := percentShares(st.CycleAccount[:], tot)
 		for _, c := range stats.CycleCats() {
 			if st.CycleAccount[c] == 0 {
 				continue
 			}
 			fmt.Fprintf(&b, "  %-16s %12d (%4.1f%%)\n",
-				c, st.CycleAccount[c], 100*frac(st.CycleAccount[c], tot))
+				c, st.CycleAccount[c], pc[c])
 		}
 		fmt.Fprintf(&b, "  %-16s %12d\n", "total", tot)
 	}
@@ -87,12 +88,13 @@ func Format(cfg config.Config, st *stats.Run) string {
 	}
 
 	b.WriteString("\ninterconnect traffic (flits):\n")
+	pc := percentShares(st.Flits[:], st.TotalFlits())
 	for _, c := range stats.MsgClasses() {
 		if st.Flits[c] == 0 {
 			continue
 		}
 		fmt.Fprintf(&b, "  %-10s %12d (%4.1f%%)\n",
-			c, st.Flits[c], 100*frac(st.Flits[c], st.TotalFlits()))
+			c, st.Flits[c], pc[c])
 	}
 	fmt.Fprintf(&b, "  %-10s %12d\n", "total", st.TotalFlits())
 	fmt.Fprintf(&b, "interconnect energy: %.1f nJ (buffer %.1f, switch %.1f, link %.1f, static %.1f)\n",
@@ -105,4 +107,41 @@ func frac(n, d uint64) float64 {
 		return 0
 	}
 	return float64(n) / float64(d)
+}
+
+// percentShares apportions 100.0% across values in tenths of a percent
+// using largest-remainder rounding: each printed one-decimal percentage is
+// within a tenth of its exact share, and — unlike independently rounded
+// rows, which drift to 99.9 or 100.1 — the rows always sum to exactly
+// 100.0. Zero values stay at exactly 0.0, so rows skipped by the caller
+// never absorb a tenth. Ties break toward the earlier index, keeping the
+// output deterministic.
+func percentShares(values []uint64, total uint64) []float64 {
+	out := make([]float64, len(values))
+	if total == 0 {
+		return out
+	}
+	tenths := make([]uint64, len(values))
+	order := make([]int, len(values))
+	var used uint64
+	for i, v := range values {
+		tenths[i] = v * 1000 / total
+		used += tenths[i]
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return values[order[a]]*1000%total > values[order[b]]*1000%total
+	})
+	for k := 0; used < 1000 && k < len(order); k++ {
+		i := order[k]
+		if values[i]*1000%total == 0 {
+			break // remaining remainders are all zero
+		}
+		tenths[i]++
+		used++
+	}
+	for i, t := range tenths {
+		out[i] = float64(t) / 10
+	}
+	return out
 }

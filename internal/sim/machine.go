@@ -20,6 +20,7 @@ import (
 	"rccsim/internal/mem"
 	"rccsim/internal/noc"
 	"rccsim/internal/obs"
+	"rccsim/internal/obs/span"
 	"rccsim/internal/stats"
 	"rccsim/internal/timing"
 	"rccsim/internal/trace"
@@ -62,11 +63,12 @@ type Machine struct {
 	epoch     timing.Cycle
 	shardLo   []int // SM/L1 index range of shard k: [shardLo[k], shardHi[k])
 	shardHi   []int
-	shardOf   []int // inverse map: SM index -> shard index
+	shardOf   []int           // inverse map: SM index -> shard index
 	ports     []*deferredPort // one per shard; nil entries when sequential
 	shardTr   []*trace.Bus    // per-shard buses (AttachShardTracers)
 	fullTrace bool
 	hasHeat   bool
+	hasSpans  bool
 
 	// Active-set scheduling: per-component wake times. Step only ticks a
 	// component once the current cycle reaches its wake time; wake times
@@ -440,6 +442,38 @@ func (m *Machine) AttachHeat(h *obs.Heat) {
 	}
 }
 
+// spanTarget is implemented by every component that can stamp causal
+// spans; AttachSpans fans out through it.
+type spanTarget interface {
+	SetSpans(*span.Recorder)
+}
+
+// AttachSpans threads the causal-span recorder through the full request
+// path: SMs (issue/finish), L1s, L2 partitions, the interconnect, and the
+// DRAM channels. Call it before Run; a nil recorder detaches everywhere.
+// Like the tracer and the heat sketch, the recorder forces the sequential
+// run loop — span marks are ordered writes into one recorder.
+func (m *Machine) AttachSpans(sp *span.Recorder) {
+	m.hasSpans = sp != nil
+	m.network.SetSpans(sp)
+	for _, l1 := range m.l1s {
+		if t, ok := l1.(spanTarget); ok {
+			t.SetSpans(sp)
+		}
+	}
+	for _, l2 := range m.l2s {
+		if t, ok := l2.(spanTarget); ok {
+			t.SetSpans(sp)
+		}
+	}
+	for _, sm := range m.sms {
+		sm.SetSpans(sp)
+	}
+	for _, d := range m.drams {
+		d.SetSpans(sp)
+	}
+}
+
 // Now returns the current cycle.
 func (m *Machine) Now() timing.Cycle { return m.now }
 
@@ -608,7 +642,7 @@ func (m *Machine) nextEvent(now timing.Cycle) timing.Cycle {
 // sketch is attached — those sinks are not shard-aware, so such runs fall
 // back to the sequential loop; either way the results are bit-identical.
 func (m *Machine) Run() (*stats.Run, error) {
-	if m.effShards > 1 && !m.fullTrace && !m.hasHeat {
+	if m.effShards > 1 && !m.fullTrace && !m.hasHeat && !m.hasSpans {
 		return m.runSharded()
 	}
 	idleJumps := 0
@@ -799,6 +833,13 @@ func RunBenchmarkTraced(cfg config.Config, b workload.Benchmark, tr *trace.Bus) 
 // attached as well (nil heat disables sampling). The caller keeps
 // ownership of both and inspects them after the run.
 func RunBenchmarkObserved(cfg config.Config, b workload.Benchmark, tr *trace.Bus, heat *obs.Heat) (Result, error) {
+	return RunBenchmarkSpanned(cfg, b, tr, heat, nil)
+}
+
+// RunBenchmarkSpanned is RunBenchmarkObserved with a causal-span recorder
+// attached as well (nil disables span recording). The caller keeps
+// ownership and summarizes the recorder after the run.
+func RunBenchmarkSpanned(cfg config.Config, b workload.Benchmark, tr *trace.Bus, heat *obs.Heat, sp *span.Recorder) (Result, error) {
 	prog := b.Generate(cfg)
 	m, err := New(cfg, prog, nil)
 	if err != nil {
@@ -806,6 +847,7 @@ func RunBenchmarkObserved(cfg config.Config, b workload.Benchmark, tr *trace.Bus
 	}
 	m.AttachTracer(tr)
 	m.AttachHeat(heat)
+	m.AttachSpans(sp)
 	st, err := m.Run()
 	if err != nil {
 		return Result{}, fmt.Errorf("%s/%v: %w", b.Name, cfg.Protocol, err)

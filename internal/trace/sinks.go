@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 
+	"rccsim/internal/obs/span"
 	"rccsim/internal/timing"
 )
 
@@ -100,6 +101,7 @@ const (
 	pidStall
 	pidDRAM
 	pidMetrics
+	pidSpans
 )
 
 // NewPerfettoSink writes a complete JSON trace to w; the closing bracket
@@ -115,6 +117,7 @@ func NewPerfettoSink(w io.Writer) *PerfettoSink {
 		pidStall:   "SM SC stalls",
 		pidDRAM:    "DRAM channels",
 		pidMetrics: "interval metrics",
+		pidSpans:   "causal spans",
 	} {
 		if name != "" {
 			s.meta(pid, name)
@@ -277,6 +280,75 @@ func (s *PerfettoSink) trackHotLine(e *Event) {
 		fmt.Sprintf(`{"ver":%d}`, e.Ver))
 	s.event("C", pidMetrics, 1, e.Cycle, "hot-line-exp",
 		fmt.Sprintf(`{"exp":%d}`, e.Exp))
+}
+
+// WriteSpanFlows renders sampled causal spans into the trace: per span,
+// one complete ("X") slice per waterfall step on the "causal spans"
+// process (tid = issuing SM, slice spanning until the next step), plus a
+// Chrome flow-event chain (ph s/t/f sharing the span's id) binding the
+// slices, so Perfetto draws arrows following each sampled op through
+// issue, NoC, L2, protocol, DRAM, and reply. Call before Close.
+func (s *PerfettoSink) WriteSpanFlows(flows []span.Flow) {
+	for i := range flows {
+		f := &flows[i]
+		for j, st := range f.Steps {
+			dur := uint64(1)
+			if j+1 < len(f.Steps) && f.Steps[j+1].At > st.At {
+				dur = f.Steps[j+1].At - st.At
+			}
+			s.sep()
+			b := s.buf[:0]
+			b = append(b, `{"ph":"X","pid":`...)
+			b = strconv.AppendInt(b, pidSpans, 10)
+			b = append(b, `,"tid":`...)
+			b = strconv.AppendInt(b, int64(f.SM), 10)
+			b = append(b, `,"ts":`...)
+			b = strconv.AppendUint(b, st.At, 10)
+			b = append(b, `,"dur":`...)
+			b = strconv.AppendUint(b, dur, 10)
+			b = append(b, `,"name":`...)
+			b = strconv.AppendQuote(b, st.Seg)
+			b = append(b, `,"args":{"span":`...)
+			b = strconv.AppendUint(b, f.ID, 10)
+			b = append(b, `}}`...)
+			s.buf = b
+			if s.err == nil {
+				_, s.err = s.w.Write(b)
+			}
+			if len(f.Steps) < 2 {
+				continue // a lone anchor has nothing to link
+			}
+			ph := "t"
+			switch j {
+			case 0:
+				ph = "s"
+			case len(f.Steps) - 1:
+				ph = "f"
+			}
+			s.sep()
+			b = s.buf[:0]
+			b = append(b, `{"ph":"`...)
+			b = append(b, ph...)
+			b = append(b, `","cat":"span","id":`...)
+			b = strconv.AppendUint(b, f.ID, 10)
+			b = append(b, `,"pid":`...)
+			b = strconv.AppendInt(b, pidSpans, 10)
+			b = append(b, `,"tid":`...)
+			b = strconv.AppendInt(b, int64(f.SM), 10)
+			b = append(b, `,"ts":`...)
+			b = strconv.AppendUint(b, st.At, 10)
+			b = append(b, `,"name":`...)
+			b = strconv.AppendQuote(b, f.Name)
+			if ph == "f" {
+				b = append(b, `,"bp":"e"`...)
+			}
+			b = append(b, '}')
+			s.buf = b
+			if s.err == nil {
+				_, s.err = s.w.Write(b)
+			}
+		}
+	}
 }
 
 func (s *PerfettoSink) Close() error {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"rccsim/internal/coherence"
+	"rccsim/internal/obs/span"
 	"rccsim/internal/stats"
 )
 
@@ -123,8 +124,8 @@ func TestPerfettoValidJSON(t *testing.T) {
 		phases = append(phases, e["ph"].(string))
 	}
 	got := strings.Join(phases, "")
-	// 6 process_name metadata records, then B/E/i.
-	if want := "MMMMMMBEi"; got != want {
+	// 7 process_name metadata records, then B/E/i.
+	if want := "MMMMMMMBEi"; got != want {
 		t.Fatalf("phase sequence %q, want %q", got, want)
 	}
 }
@@ -258,5 +259,48 @@ func TestIntervalSink(t *testing.T) {
 	last := buf.Events[len(buf.Events)-1]
 	if last.Cycle != 410 || last.Val != 5 {
 		t.Fatalf("final partial row wrong: %+v", last)
+	}
+}
+
+// TestPerfettoSpanFlows checks the causal-span export: one X slice per
+// waterfall step plus an s/t/f flow chain sharing the span's id, all of it
+// still valid Chrome trace JSON.
+func TestPerfettoSpanFlows(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewPerfettoSink(&buf)
+	s.WriteSpanFlows([]span.Flow{
+		{ID: 42, SM: 3, Name: "load sm3 w1 line 0x40", Steps: []span.FlowStep{
+			{Seg: "issue", At: 10},
+			{Seg: "noc_req_wire", At: 30},
+			{Seg: "reply", At: 55},
+		}},
+		{ID: 43, SM: 0, Name: "lonely", Steps: []span.FlowStep{{Seg: "issue", At: 5}}},
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	var phases []string
+	for _, e := range doc.TraceEvents {
+		ph := e["ph"].(string)
+		if ph == "M" {
+			continue
+		}
+		phases = append(phases, ph)
+		if ph == "s" || ph == "t" || ph == "f" {
+			if id := e["id"].(float64); id != 42 {
+				t.Fatalf("flow event has id %v, want 42", id)
+			}
+		}
+	}
+	// 3 slices interleaved with the s/t/f chain for span 42, then one
+	// lone slice (no chain) for span 43.
+	if got, want := strings.Join(phases, ""), "XsXtXfX"; got != want {
+		t.Fatalf("phase sequence %q, want %q", got, want)
 	}
 }

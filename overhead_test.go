@@ -9,11 +9,14 @@ import (
 
 // TestObsOverheadBudget guards the observability overhead budget on the
 // BenchmarkSimulatorThroughput workload (KMN under RCC): the fully enabled
-// path (contention sketch attached, tracker folding every run) must stay
-// close to the disabled path (nil heat, no tracker — what every run pays
-// when -serve/-hotspots are off; the disabled path itself is budgeted at
-// ≤2% vs the pre-observability baseline, enforced cross-PR by
-// scripts/bench_compare.sh against BENCH_1.json).
+// path (contention sketch attached, tracker folding every run, causal-span
+// recorder sampling every 64th op) must stay close to the disabled path
+// (nil heat, nil recorder, no tracker — what every run pays when
+// -serve/-hotspots/-spans are off). The disabled path deliberately goes
+// through RunSpanned with a nil recorder, so the span layer's hot-path
+// branches are inside the measured baseline; that baseline itself is
+// budgeted at ≤2% vs the pre-observability one, enforced cross-PR by
+// scripts/bench_compare.sh against the checked-in BENCH_<n>.json.
 //
 // Timing assertions on shared CI hosts flake, so the in-test threshold is
 // deliberately generous (1.5×) and the runs are interleaved best-of-N so
@@ -23,6 +26,12 @@ func TestObsOverheadBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
+	if raceEnabled {
+		// The race detector instruments the span recorder's per-sample
+		// mutex into a ~3x multiplier; the ratio measured here says
+		// nothing about production cost under -race.
+		t.Skip("timing test meaningless under -race")
+	}
 	cfg := rccsim.DefaultConfig()
 	cfg.Scale = 0.25
 	cfg.Protocol = rccsim.RCC
@@ -30,12 +39,14 @@ func TestObsOverheadBudget(t *testing.T) {
 	run := func(enabled bool) time.Duration {
 		var heat *rccsim.Heat
 		var tr *rccsim.RunTracker
+		var sp *rccsim.SpanRecorder
 		if enabled {
 			heat = rccsim.NewHeat(256)
 			tr = rccsim.NewRunTracker(rccsim.NewMetricsRegistry())
+			sp = rccsim.NewSpanRecorder(64)
 		}
 		start := time.Now()
-		res, err := rccsim.RunObserved(cfg, "KMN", nil, heat)
+		res, err := rccsim.RunSpanned(cfg, "KMN", nil, heat, sp)
 		if err != nil {
 			t.Fatal(err)
 		}

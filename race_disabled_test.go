@@ -1,0 +1,7 @@
+//go:build !race
+
+package rccsim_test
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are meaningless under its instrumentation.
+const raceEnabled = false

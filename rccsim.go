@@ -32,6 +32,7 @@ import (
 	"rccsim/internal/experiments"
 	"rccsim/internal/gpu"
 	"rccsim/internal/obs"
+	"rccsim/internal/obs/span"
 	"rccsim/internal/report"
 	"rccsim/internal/sim"
 	"rccsim/internal/stats"
@@ -215,11 +216,51 @@ func ServeIntrospection(addr string, reg *MetricsRegistry, tr *RunTracker) (stri
 // RunObserved is RunTraced with a contention sketch also attached; either
 // tr or heat may be nil.
 func RunObserved(cfg Config, name string, tr *TraceBus, heat *Heat) (Result, error) {
+	return RunSpanned(cfg, name, tr, heat, nil)
+}
+
+// SpanRecorder samples causal spans: per-op latency waterfalls whose
+// segments (issue, L1, MSHR coalescing, NoC queueing/wire, L2 pipeline,
+// protocol actions, DRAM, reply) sum exactly to the op's end-to-end
+// latency, dependency edges between ops (coalesced misses, lease waits,
+// barriers), and the critical path through them. A nil *SpanRecorder
+// disables recording at zero cost.
+type SpanRecorder = span.Recorder
+
+// SpanSummary is the aggregate a SpanRecorder reports: per-segment
+// percentile waterfalls, total blame per segment, the critical path, and
+// the slowest sampled ops. Served as JSON on the introspection server's
+// /spans endpoint.
+type SpanSummary = span.Summary
+
+// NewSpanRecorder returns a recorder sampling every Nth memory operation
+// (deterministically by request ID, so identical runs sample identical
+// ops). every <= 0 returns nil (recording off).
+func NewSpanRecorder(every int) *SpanRecorder { return span.NewRecorder(every) }
+
+// RunSpanned is RunObserved with a causal-span recorder also attached; any
+// of tr, heat, sp may be nil. Attaching a recorder never changes simulated
+// results; it does force the machine onto the sequential scheduler even
+// when cfg.Shards > 1.
+func RunSpanned(cfg Config, name string, tr *TraceBus, heat *Heat, sp *SpanRecorder) (Result, error) {
 	b, ok := workload.ByName(name)
 	if !ok {
 		return Result{}, fmt.Errorf("rccsim: unknown benchmark %q", name)
 	}
-	return sim.RunBenchmarkObserved(cfg, b, tr, heat)
+	return sim.RunBenchmarkSpanned(cfg, b, tr, heat, sp)
+}
+
+// FormatSpans renders a recorder's summary as the report's causal-span
+// section (waterfall, critical path, slowest ops); "" when empty.
+func FormatSpans(cfg Config, sp *SpanRecorder, topN int) string {
+	return report.FormatSpans(cfg, sp, topN)
+}
+
+// ServeIntrospectionSpans is ServeIntrospection plus a /spans endpoint
+// serving sp's summary as JSON (?top=N selects the slowest-op count). A
+// nil sp serves 404 on /spans.
+func ServeIntrospectionSpans(addr string, reg *MetricsRegistry, tr *RunTracker, sp *SpanRecorder) (string, error) {
+	return obs.StartServerSpans(addr, reg, tr, sp)
 }
 
 // WriteCycleStacks renders st's cycle account as folded stacks
