@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rccbench [-scale f] [-seed n] [-small] [-j N] [-progress]
+//	rccbench [-scale f] [-seed n] [-small] [-j N] [-progress] [-cache-dir dir]
 //	         [-trace file [-trace-format jsonl|perfetto] [-metrics-interval N]]
 //	         [-spans N [-spans-out file] [-spans-folded file]]
 //	         [-cpuprofile file] [-memprofile file] <experiment>...
@@ -29,6 +29,7 @@ import (
 	"rccsim/internal/obs"
 	"rccsim/internal/obs/span"
 	"rccsim/internal/report"
+	"rccsim/internal/resultcache"
 	"rccsim/internal/sim"
 	"rccsim/internal/trace"
 	"rccsim/internal/workload"
@@ -46,6 +47,7 @@ var (
 	traceFormat = flag.String("trace-format", "jsonl", "event trace format: jsonl or perfetto")
 	metricsIvl  = flag.Uint64("metrics-interval", 0, "emit stats deltas into the trace every N cycles (0 = off)")
 
+	cacheDir  = flag.String("cache-dir", "", "content-addressed result cache directory: hits replay stored stats instead of simulating, making runs resumable and incremental")
 	serveAddr = flag.String("serve", "", "serve live introspection (/metrics, /runs, /healthz, /debug/pprof) on this address, e.g. :8080")
 	hotspots  = flag.Int("hotspots", 0, "print the top-N contended cache lines after a 'stats' run (0 = off)")
 	stacksOut = flag.String("stacks", "", "write folded cycle stacks of a 'stats' run to this file (flamegraph.pl input)")
@@ -87,6 +89,19 @@ func realMain() int {
 	r := experiments.NewRunnerJobs(base, *jobs)
 	if *progress {
 		r.Progress = experiments.StderrProgress(os.Stderr, "rccbench")
+	}
+	var cache *resultcache.Cache
+	if *cacheDir != "" {
+		cache, err = resultcache.Open(*cacheDir, sim.GoldenDigest())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
+			return 1
+		}
+		r.Exec = experiments.CachedExecutor{Cache: cache}
+		defer func() {
+			fmt.Fprintf(os.Stderr, "rccbench: cache %s: %d hits, %d misses, %d stored (hit ratio %.0f%%)\n",
+				*cacheDir, cache.Hits(), cache.Misses(), cache.Puts(), 100*cache.HitRatio())
+		}()
 	}
 	var spans *span.Recorder
 	if *spansN > 0 {

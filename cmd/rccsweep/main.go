@@ -4,9 +4,11 @@
 // TLP that hides SC stalls), the TC lease the baselines depend on, and the
 // timestamp width behind the Sec. III-D rollover mechanism.
 //
-//	rccsweep [-bench BH] [-scale f] [-j N] [-progress]
+//	rccsweep [-bench BH] [-scale f] [-j N] [-progress] [-cache-dir dir]
 //	         [-trace file [-trace-format jsonl|perfetto] [-metrics-interval N]]
 //	         [-cpuprofile file] [-memprofile file] <sweep>
+//	rccsweep -coordinator :9100 [-cache-dir dir] [sweep flags] <sweep>
+//	rccsweep -worker http://host:9100 [-j N] [-shards N] [-cache-dir dir]
 //
 // Sweeps: lease, warps, tclease, tsbits, sched. Sweep points are
 // independent simulations; -j runs up to N of them concurrently
@@ -14,19 +16,39 @@
 // captures every point's event stream: each point runs against its own
 // buffering bus and the buffers are replayed into the output file in
 // point order, so the trace is byte-identical for any -j.
+//
+// -cache-dir memoizes finished points in a content-addressed on-disk
+// cache keyed by (binary behaviour digest, benchmark, config); re-running
+// an interrupted or repeated sweep replays hits without simulating, with
+// output byte-identical to a cold run. -coordinator/-worker shard one
+// sweep's points across processes over HTTP (see internal/farm): the
+// coordinator serves the lease protocol plus the /metrics, /runs fleet
+// introspection on its address, and workers — local or remote — pull
+// points and post results. SIGINT/SIGTERM drains gracefully: in-flight
+// points finish and flush to the cache, queued points are abandoned, and
+// a resume hint is printed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"rccsim/internal/config"
 	"rccsim/internal/experiments"
+	"rccsim/internal/farm"
 	"rccsim/internal/obs"
+	"rccsim/internal/resultcache"
+	"rccsim/internal/sim"
 	"rccsim/internal/stats"
 	"rccsim/internal/trace"
 	"rccsim/internal/workload"
@@ -42,6 +64,13 @@ var (
 	serveAddr = flag.String("serve", "", "serve live introspection (/metrics, /runs, /healthz, /debug/pprof) on this address, e.g. :8080")
 	hotspots  = flag.Int("hotspots", 0, "print the top-N contended cache lines, merged across all sweep points (0 = off)")
 
+	cacheDir     = flag.String("cache-dir", "", "content-addressed result cache directory: hits replay stored stats instead of simulating, making sweeps resumable")
+	coordAddr    = flag.String("coordinator", "", "run the sweep as a farm coordinator: serve the lease protocol and introspection on this address, sharding points to -worker processes")
+	workerURL    = flag.String("worker", "", "run as a farm worker against this coordinator URL (no sweep argument)")
+	workerName   = flag.String("worker-name", "", "worker name reported to the coordinator (default host-pid)")
+	leaseTimeout = flag.Duration("lease-timeout", 10*time.Second, "coordinator: requeue a point after its worker goes this long without a heartbeat")
+	maxRetries   = flag.Int("max-retries", 3, "coordinator: fail a point after this many lost leases")
+
 	traceOut    = flag.String("trace", "", "write every point's event trace to this file")
 	traceFormat = flag.String("trace-format", "jsonl", "event trace format: jsonl or perfetto")
 	metricsIvl  = flag.Uint64("metrics-interval", 0, "emit stats deltas into the trace every N cycles (0 = off)")
@@ -56,8 +85,12 @@ func main() {
 }
 
 func realMain() int {
+	if *workerURL != "" {
+		return workerMain()
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rccsweep [-bench BH] [-scale f] [-j N] <sweep>")
+		fmt.Fprintln(os.Stderr, "usage: rccsweep [-bench BH] [-scale f] [-j N] [-cache-dir dir] [-coordinator :addr] <sweep>")
+		fmt.Fprintln(os.Stderr, "       rccsweep -worker http://host:port [-j N] [-cache-dir dir]")
 		fmt.Fprintln(os.Stderr, "sweeps: lease warps tclease tsbits sched")
 		return 2
 	}
@@ -65,6 +98,16 @@ func realMain() int {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
 		return 1
+	}
+	// Executor-routed points (cache hits, farmed points) never run a local
+	// machine, so there is nothing for a trace bus or heat sketch to hook.
+	if (*cacheDir != "" || *coordAddr != "") && (*traceOut != "" || *hotspots > 0) {
+		fmt.Fprintln(os.Stderr, "rccsweep: -trace and -hotspots are incompatible with -cache-dir/-coordinator (those points do not run in this process)")
+		return 2
+	}
+	if *coordAddr != "" && *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "rccsweep: -coordinator already serves introspection on its address; drop -serve")
+		return 2
 	}
 	stopProfiles, err := startProfiles()
 	if err != nil {
@@ -77,9 +120,38 @@ func realMain() int {
 	base.Scale = *scale
 	base.Shards = *shards
 
+	var cache *resultcache.Cache
+	if *cacheDir != "" {
+		cache, err = resultcache.Open(*cacheDir, sim.GoldenDigest())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
+			return 1
+		}
+	}
+
 	var opts []experiments.RunOpt
 	var tracker *obs.Tracker
-	if *serveAddr != "" {
+	var coord *farm.Coordinator
+	sweepJobs := *jobs
+	if *coordAddr != "" {
+		tracker = obs.NewTracker(obs.NewRegistry())
+		coord = farm.NewCoordinator(farm.Options{
+			LeaseTimeout: *leaseTimeout,
+			MaxRetries:   *maxRetries,
+			Registry:     tracker.Registry(),
+			Assign:       tracker.Assign,
+			Logf:         func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+		})
+		addr, err := obs.StartServerFarm(*coordAddr, tracker.Registry(), tracker, nil, coord.Handler())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "rccsweep: coordinating on http://%s (workers: rccsweep -worker http://%s)\n", addr, addr)
+		// Every point must be enqueued concurrently so workers can pull
+		// them all; the farm, not -j, bounds actual parallelism.
+		sweepJobs = 1 << 16
+	} else if *serveAddr != "" {
 		tracker = obs.NewTracker(obs.NewRegistry())
 		addr, err := obs.StartServer(*serveAddr, tracker.Registry(), tracker)
 		if err != nil {
@@ -87,9 +159,28 @@ func realMain() int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "rccsweep: serving introspection on http://%s\n", addr)
+	}
+	if tracker != nil {
 		opts = append(opts,
 			experiments.WithPointBegin(func(_ int, label string) { tracker.Begin(label) }),
 			experiments.WithPointDone(func(_ int, label string, st *stats.Run) { tracker.Done(label, st) }))
+	}
+
+	// Executor chain: farm coordinator at the bottom (when distributed),
+	// disk cache above it (hits stay local, misses farm out), drain gate on
+	// top so an interrupt stops handing out new points.
+	var gate *drainGate
+	if coord != nil || cache != nil {
+		var exec experiments.Executor
+		if coord != nil {
+			exec = coord
+		}
+		if cache != nil {
+			exec = experiments.CachedExecutor{Cache: cache, Inner: exec}
+		}
+		gate = &drainGate{inner: exec}
+		opts = append(opts, experiments.WithExecutor(gate))
+		installDrainHandler(coord, gate)
 	}
 	// Progress consumers share the single WithProgress slot: the stderr
 	// line and the tracker's total both hang off the same callback.
@@ -99,6 +190,17 @@ func realMain() int {
 	}
 	if tracker != nil {
 		progFns = append(progFns, func(_, total int, _ string) { tracker.SetTotal(total) })
+	}
+	if tracker != nil && cache != nil {
+		reg := tracker.Registry()
+		sHits := reg.Register("rccsim_cache_hits", "Result-cache hits (points replayed from disk)", obs.Gauge)
+		sMiss := reg.Register("rccsim_cache_misses", "Result-cache misses (points simulated)", obs.Gauge)
+		sRatio := reg.Register("rccsim_cache_hit_ratio", "Result-cache hit ratio for this sweep", obs.Gauge)
+		progFns = append(progFns, func(_, _ int, _ string) {
+			sHits.Set(cache.Hits())
+			sMiss.Set(cache.Misses())
+			sRatio.SetFloat(cache.HitRatio())
+		})
 	}
 	if len(progFns) > 0 {
 		fns := progFns
@@ -141,18 +243,25 @@ func realMain() int {
 
 	switch flag.Arg(0) {
 	case "lease":
-		err = sweepLease(base, b, opts)
+		err = sweepLease(base, b, sweepJobs, opts)
 	case "warps":
-		err = sweepWarps(base, b, opts)
+		err = sweepWarps(base, b, sweepJobs, opts)
 	case "tclease":
-		err = sweepTCLease(base, b, opts)
+		err = sweepTCLease(base, b, sweepJobs, opts)
 	case "tsbits":
-		err = sweepTSBits(base, b, opts)
+		err = sweepTSBits(base, b, sweepJobs, opts)
 	case "sched":
-		err = sweepSched(base, b, opts)
+		err = sweepSched(base, b, sweepJobs, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", flag.Arg(0))
 		return 1
+	}
+	if coord != nil {
+		coord.Close() // workers see 410 Gone and exit
+	}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "rccsweep: cache %s: %d hits, %d misses, %d stored (hit ratio %.0f%%)\n",
+			*cacheDir, cache.Hits(), cache.Misses(), cache.Puts(), 100*cache.HitRatio())
 	}
 	if err == nil && pts != nil {
 		err = pts.replay(dst)
@@ -164,9 +273,101 @@ func realMain() int {
 		fmt.Printf("\ntop %d contended lines (merged across %d points)\n", *hotspots, len(heats.m))
 		heats.merged().WriteTable(os.Stdout, *hotspots)
 	}
+	if errors.Is(err, farm.ErrDraining) {
+		fmt.Fprintln(os.Stderr, "rccsweep: sweep interrupted; in-flight points were flushed, queued points abandoned")
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "rccsweep: resume by re-running the same command with -cache-dir %s (finished points replay as cache hits)\n", *cacheDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "rccsweep: re-run with -cache-dir to make interrupted sweeps resumable")
+		}
+		return 130
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	return 0
+}
+
+// drainGate sits atop the executor chain; once drained, new points
+// resolve immediately with farm.ErrDraining while points already past the
+// gate run to completion (and flush to the cache / farm as usual).
+type drainGate struct {
+	inner    experiments.Executor
+	draining atomic.Bool
+}
+
+func (g *drainGate) Execute(cfg config.Config, b workload.Benchmark) (sim.Result, error) {
+	if g.draining.Load() {
+		return sim.Result{}, farm.ErrDraining
+	}
+	return g.inner.Execute(cfg, b)
+}
+
+// installDrainHandler makes the first SIGINT/SIGTERM drain the sweep
+// gracefully — the gate stops admitting points, the coordinator (if any)
+// 503s new leases and abandons its queue — and a second signal aborts
+// hard. Without a cache or farm there is nothing to flush, so plain runs
+// keep the default die-on-interrupt behaviour (no Notify installed).
+func installDrainHandler(coord *farm.Coordinator, gate *drainGate) {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "\nrccsweep: interrupt: draining (in-flight points will finish and flush; interrupt again to abort)")
+		if gate != nil {
+			gate.draining.Store(true)
+		}
+		if coord != nil {
+			coord.Drain()
+		}
+		<-sig
+		fmt.Fprintln(os.Stderr, "rccsweep: aborted")
+		os.Exit(130)
+	}()
+}
+
+// workerMain is the -worker mode: pull points from the coordinator,
+// simulate them locally (optionally through the same disk cache), and
+// post results until the sweep finishes or an interrupt drains us.
+func workerMain() int {
+	if flag.NArg() != 0 || *coordAddr != "" {
+		fmt.Fprintln(os.Stderr, "usage: rccsweep -worker http://host:port [-j N] [-shards N] [-cache-dir dir]")
+		return 2
+	}
+	var exec farm.Executor
+	var cache *resultcache.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = resultcache.Open(*cacheDir, sim.GoldenDigest())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
+			return 1
+		}
+		exec = experiments.CachedExecutor{Cache: cache}
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	w := &farm.Worker{
+		Coordinator: *workerURL,
+		Name:        *workerName,
+		Jobs:        *jobs,
+		Shards:      *shards,
+		Exec:        exec,
+		Logf:        func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+	}
+	err := w.Run(ctx)
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "rccsweep: cache %s: %d hits, %d misses, %d stored\n",
+			*cacheDir, cache.Hits(), cache.Misses(), cache.Puts())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
+		return 1
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "rccsweep: worker interrupted; in-flight points were finished and posted")
+		return 130
 	}
 	return 0
 }
@@ -280,10 +481,10 @@ func (p *pointTraces) replay(dst trace.Sink) error {
 	return nil
 }
 
-func sweepLease(base config.Config, b workload.Benchmark, opts []experiments.RunOpt) error {
+func sweepLease(base config.Config, b workload.Benchmark, jobs int, opts []experiments.RunOpt) error {
 	fmt.Printf("RCC fixed-lease sweep on %s (predictor off)\n", b.Name)
 	fmt.Printf("%8s %10s %10s %12s\n", "lease", "cycles", "expired", "renewed")
-	rows, err := experiments.LeaseSweep(base, b, []uint64{8, 32, 64, 128, 512, 2048}, *jobs, opts...)
+	rows, err := experiments.LeaseSweep(base, b, []uint64{8, 32, 64, 128, 512, 2048}, jobs, opts...)
 	if err != nil {
 		return err
 	}
@@ -293,10 +494,10 @@ func sweepLease(base config.Config, b workload.Benchmark, opts []experiments.Run
 	return nil
 }
 
-func sweepWarps(base config.Config, b workload.Benchmark, opts []experiments.RunOpt) error {
+func sweepWarps(base config.Config, b workload.Benchmark, jobs int, opts []experiments.RunOpt) error {
 	fmt.Printf("warps-per-SM sweep on %s (RCC, SC)\n", b.Name)
 	fmt.Printf("%8s %10s %8s %16s\n", "warps", "cycles", "IPC", "SC stall cycles")
-	rows, err := experiments.WarpSweep(base, b, []int{4, 8, 16, 32, 48}, *jobs, opts...)
+	rows, err := experiments.WarpSweep(base, b, []int{4, 8, 16, 32, 48}, jobs, opts...)
 	if err != nil {
 		return err
 	}
@@ -306,10 +507,10 @@ func sweepWarps(base config.Config, b workload.Benchmark, opts []experiments.Run
 	return nil
 }
 
-func sweepTCLease(base config.Config, b workload.Benchmark, opts []experiments.RunOpt) error {
+func sweepTCLease(base config.Config, b workload.Benchmark, jobs int, opts []experiments.RunOpt) error {
 	fmt.Printf("TC-Strong lease sweep on %s\n", b.Name)
 	fmt.Printf("%8s %10s %16s %12s\n", "lease", "cycles", "store stall cyc", "L1 hit rate")
-	rows, err := experiments.TCLeaseSweep(base, b, []uint64{100, 200, 400, 800, 1600}, *jobs, opts...)
+	rows, err := experiments.TCLeaseSweep(base, b, []uint64{100, 200, 400, 800, 1600}, jobs, opts...)
 	if err != nil {
 		return err
 	}
@@ -319,10 +520,10 @@ func sweepTCLease(base config.Config, b workload.Benchmark, opts []experiments.R
 	return nil
 }
 
-func sweepTSBits(base config.Config, b workload.Benchmark, opts []experiments.RunOpt) error {
+func sweepTSBits(base config.Config, b workload.Benchmark, jobs int, opts []experiments.RunOpt) error {
 	fmt.Printf("RCC timestamp-width sweep on %s\n", b.Name)
 	fmt.Printf("%8s %10s %10s %14s\n", "bits", "cycles", "rollovers", "stall cycles")
-	rows, err := experiments.TSBitsSweep(base, b, []uint{14, 16, 18, 20, 24, 32}, *jobs, opts...)
+	rows, err := experiments.TSBitsSweep(base, b, []uint{14, 16, 18, 20, 24, 32}, jobs, opts...)
 	if err != nil {
 		return err
 	}
@@ -332,11 +533,11 @@ func sweepTSBits(base config.Config, b workload.Benchmark, opts []experiments.Ru
 	return nil
 }
 
-func sweepSched(base config.Config, b workload.Benchmark, opts []experiments.RunOpt) error {
+func sweepSched(base config.Config, b workload.Benchmark, jobs int, opts []experiments.RunOpt) error {
 	fmt.Printf("warp-scheduler sweep on %s\n", b.Name)
 	fmt.Printf("%6s %8s %10s %8s %16s\n", "sched", "proto", "cycles", "IPC", "SC stall cycles")
 	rows, err := experiments.SchedulerSweep(base, b,
-		[]config.Protocol{config.MESI, config.TCS, config.RCC}, *jobs, opts...)
+		[]config.Protocol{config.MESI, config.TCS, config.RCC}, jobs, opts...)
 	if err != nil {
 		return err
 	}

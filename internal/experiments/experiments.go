@@ -31,6 +31,13 @@ type Runner struct {
 	Base config.Config
 	Jobs int // max concurrent simulations (set at construction)
 
+	// Exec, when non-nil, runs each point instead of the in-process
+	// simulation: a CachedExecutor for disk-backed memoization, a farm
+	// coordinator for distributed sweeps, or any chain of the two. All
+	// executors are deterministic per point, so results are independent
+	// of which one is wired in.
+	Exec Executor
+
 	// Progress, when non-nil, is invoked after each simulation a Preload
 	// batch completes (done so far, batch total, completed point's
 	// "benchmark/protocol" label). It runs on worker goroutines in
@@ -38,11 +45,15 @@ type Runner struct {
 	// StderrProgress); it never affects results.
 	Progress func(done, total int, label string)
 
-	// Started and Observe, when non-nil, bracket each simulation the
-	// Runner actually executes (cache hits invoke neither): Started fires
-	// as the run begins, Observe when it completes with the finished stats
-	// (nil on failure). Both run on worker goroutines — side channels only
-	// (e.g. obs.Tracker.Begin/Done).
+	// Started and Observe, when non-nil, bracket each point the Runner
+	// hands to its executor: Started fires as the point begins, Observe
+	// when it completes with the finished stats (nil on failure). Memo
+	// hits in the in-memory cache invoke neither (the point never reaches
+	// the executor), but disk-cache hits inside a CachedExecutor DO fire
+	// both — a warm-cache sweep still ticks every progress and tracker
+	// counter, so /runs ETAs stay finite (see executor_test.go). Both run
+	// on worker goroutines — side channels only (e.g.
+	// obs.Tracker.Begin/Done).
 	Started func(label string)
 	Observe func(label string, st *stats.Run)
 

@@ -29,6 +29,7 @@ type runOpts struct {
 	done     func(point int, label string, st *stats.Run)
 	tracer   func(point int) *trace.Bus
 	heat     func(point int) *obs.Heat
+	exec     Executor
 }
 
 func applyOpts(opts []RunOpt) runOpts {

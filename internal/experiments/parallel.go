@@ -106,7 +106,7 @@ func (r *Runner) resultOpt(p config.Protocol, b workload.Benchmark, renew, pred 
 	if r.Started != nil {
 		r.Started(label)
 	}
-	f.res, f.err = sim.RunBenchmark(cfg, b)
+	f.res, f.err = r.executor().Execute(cfg, b)
 	if r.Observe != nil {
 		r.Observe(label, f.res.Stats) // Stats is nil on error
 	}
@@ -177,15 +177,23 @@ func runAll(cfgs []config.Config, b workload.Benchmark, jobs int, opts ...RunOpt
 		if o.begin != nil {
 			o.begin(i, label)
 		}
-		var bus *trace.Bus
-		if o.tracer != nil {
-			bus = o.tracer(i)
+		var res sim.Result
+		var err error
+		if o.exec != nil {
+			// Executor-routed points (cache, farm) cannot host a local
+			// trace bus or heat sketch; the CLIs reject the combination.
+			res, err = o.exec.Execute(cfgs[i], b)
+		} else {
+			var bus *trace.Bus
+			if o.tracer != nil {
+				bus = o.tracer(i)
+			}
+			var heat *obs.Heat
+			if o.heat != nil {
+				heat = o.heat(i)
+			}
+			res, err = sim.RunBenchmarkObserved(cfgs[i], b, bus, heat)
 		}
-		var heat *obs.Heat
-		if o.heat != nil {
-			heat = o.heat(i)
-		}
-		res, err := sim.RunBenchmarkObserved(cfgs[i], b, bus, heat)
 		out[i] = res
 		if o.done != nil {
 			o.done(i, label, res.Stats) // Stats is nil on error

@@ -1,0 +1,488 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"rccsim/internal/config"
+	"rccsim/internal/energy"
+	"rccsim/internal/obs"
+	"rccsim/internal/sim"
+	"rccsim/internal/stats"
+	"rccsim/internal/workload"
+)
+
+// ErrDraining resolves points abandoned because the coordinator is
+// shutting down; the CLI turns it into a resume hint rather than a
+// failure report.
+var ErrDraining = errors.New("farm: coordinator draining")
+
+// ErrClosed resolves points still unresolved when Close is called.
+var ErrClosed = errors.New("farm: coordinator closed")
+
+// Options configures a Coordinator. The zero value is usable: 10s lease
+// timeout, 3 retries, no metrics, no assignment hook.
+type Options struct {
+	// LeaseTimeout is how long a lease may go without a heartbeat before
+	// the point is requeued. Workers are told to heartbeat at a third of
+	// this.
+	LeaseTimeout time.Duration
+	// MaxRetries bounds how many times one point may be requeued after
+	// lost leases before the sweep fails.
+	MaxRetries int
+	// Registry, when non-nil, receives the fleet metrics: inflight
+	// leases, known workers, requeues, and per-worker points / points-per-
+	// second series.
+	Registry *obs.Registry
+	// Assign, when non-nil, is invoked as each point is leased with the
+	// point's "bench/protocol" label and the worker name — the hook the
+	// CLI wires to obs.Tracker.Assign so /runs shows worker assignment.
+	Assign func(label, worker string)
+	// Logf, when non-nil, receives operational messages (lost workers,
+	// requeues, rejected binaries).
+	Logf func(format string, args ...any)
+}
+
+const (
+	statePending = iota // queued, waiting for a worker
+	stateLeased
+	stateDone
+)
+
+// point is one enqueued simulation point.
+type point struct {
+	cfg     config.Config
+	bench   string
+	retries int
+	state   int
+	st      *stats.Run
+	err     error
+	done    chan struct{}
+}
+
+func (p *point) label() string { return fmt.Sprintf("%s/%v", p.bench, p.cfg.Protocol) }
+
+// lease is one granted, heartbeat-guarded claim on a point.
+type lease struct {
+	seq    int
+	worker string
+	timer  *time.Timer
+}
+
+// workerInfo tracks one worker the coordinator has seen.
+type workerInfo struct {
+	firstSeen time.Time
+	points    int
+	lost      int
+	sPoints   *obs.Series
+	sPPS      *obs.Series
+}
+
+// Coordinator owns a sweep's point queue and serves the farm protocol.
+// It implements the experiments Executor shape: the harness calls Execute
+// once per point (from its worker-pool goroutines) and each call blocks
+// until some farm worker returns that point's result.
+type Coordinator struct {
+	opts   Options
+	digest string // this binary's behaviour fingerprint (sim.GoldenDigest)
+
+	mu        sync.Mutex
+	seq       int
+	queue     []int
+	points    map[int]*point
+	leases    map[uint64]*lease
+	nextLease uint64
+	doneCount int
+	requeues  uint64
+	draining  bool
+	closed    bool
+	workers   map[string]*workerInfo
+
+	sInflight *obs.Series
+	sWorkers  *obs.Series
+	sRequeues *obs.Series
+	sDone     *obs.Series
+}
+
+// NewCoordinator builds a Coordinator with the given options.
+func NewCoordinator(opts Options) *Coordinator {
+	if opts.LeaseTimeout <= 0 {
+		opts.LeaseTimeout = 10 * time.Second
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 3
+	}
+	c := &Coordinator{
+		opts:    opts,
+		digest:  sim.GoldenDigest(),
+		points:  map[int]*point{},
+		leases:  map[uint64]*lease{},
+		workers: map[string]*workerInfo{},
+	}
+	if reg := opts.Registry; reg != nil {
+		c.sInflight = reg.Register("rccsim_farm_inflight_leases", "Points currently leased to workers", obs.Gauge)
+		c.sWorkers = reg.Register("rccsim_farm_workers", "Distinct workers seen by the coordinator", obs.Gauge)
+		c.sRequeues = reg.Register("rccsim_farm_requeues", "Points requeued after a lost worker lease", obs.Counter)
+		c.sDone = reg.Register("rccsim_farm_points_done", "Points resolved by the farm", obs.Gauge)
+	}
+	return c
+}
+
+// logf forwards to the configured logger, if any.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Execute enqueues one point and blocks until a worker resolves it.
+// It satisfies the experiments Executor interface, so the unchanged sweep
+// and figure code fans points onto the farm just by wiring the
+// Coordinator in.
+func (c *Coordinator) Execute(cfg config.Config, b workload.Benchmark) (sim.Result, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return sim.Result{}, ErrClosed
+	}
+	if c.draining {
+		c.mu.Unlock()
+		return sim.Result{}, ErrDraining
+	}
+	s := c.seq
+	c.seq++
+	p := &point{cfg: cfg, bench: b.Name, done: make(chan struct{})}
+	c.points[s] = p
+	c.queue = append(c.queue, s)
+	c.mu.Unlock()
+
+	<-p.done
+	if p.err != nil {
+		return sim.Result{}, p.err
+	}
+	return sim.Result{Config: cfg, Stats: p.st, Energy: energy.Interconnect(cfg, p.st)}, nil
+}
+
+// Handler returns the /farm/* protocol endpoints. Mount it on any server
+// (the CLI shares the listener with the obs introspection endpoints via
+// obs.StartServerFarm).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/farm/lease", c.handleLease)
+	mux.HandleFunc("/farm/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/farm/result", c.handleResult)
+	mux.HandleFunc("/farm/status", c.handleStatus)
+	return mux
+}
+
+// heartbeatEvery is the interval workers are told to heartbeat at.
+func (c *Coordinator) heartbeatEvery() time.Duration {
+	hb := c.opts.LeaseTimeout / 3
+	if hb < 10*time.Millisecond {
+		hb = 10 * time.Millisecond
+	}
+	return hb
+}
+
+// handleLease grants the next queued point to the requesting worker.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		http.Error(w, "farm: bad lease request", http.StatusBadRequest)
+		return
+	}
+	if req.Digest != c.digest {
+		// A worker built from a behaviourally different binary would
+		// silently poison the sweep's determinism; refuse it loudly.
+		c.logf("farm: rejecting worker %s: binary digest %.12s.. != coordinator %.12s..",
+			req.Worker, req.Digest, c.digest)
+		http.Error(w, "farm: worker binary digest mismatch", http.StatusConflict)
+		return
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		http.Error(w, "farm: sweep finished", http.StatusGone)
+		return
+	}
+	if c.draining {
+		c.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "farm: coordinator draining", http.StatusServiceUnavailable)
+		return
+	}
+	c.touchWorkerLocked(req.Worker)
+	if len(c.queue) == 0 {
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s := c.queue[0]
+	c.queue = c.queue[1:]
+	p := c.points[s]
+	p.state = stateLeased
+	id := c.nextLease
+	c.nextLease++
+	l := &lease{seq: s, worker: req.Worker}
+	l.timer = time.AfterFunc(c.opts.LeaseTimeout, func() { c.expire(id) })
+	c.leases[id] = l
+	c.sInflight.Set(uint64(len(c.leases)))
+	label := p.label()
+	job := Job{
+		Lease:       id,
+		Seq:         s,
+		Bench:       p.bench,
+		Config:      p.cfg,
+		HeartbeatMS: c.heartbeatEvery().Milliseconds(),
+	}
+	c.mu.Unlock()
+
+	if c.opts.Assign != nil {
+		c.opts.Assign(label, req.Worker)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(job)
+}
+
+// touchWorkerLocked records the worker, registering its metric series on
+// first sight. Caller holds c.mu.
+func (c *Coordinator) touchWorkerLocked(name string) *workerInfo {
+	wi, ok := c.workers[name]
+	if !ok {
+		wi = &workerInfo{firstSeen: time.Now()}
+		if reg := c.opts.Registry; reg != nil {
+			wi.sPoints = reg.RegisterLabelled("rccsim_farm_worker_points",
+				"Points completed per worker", obs.Counter, map[string]string{"worker": name})
+			wi.sPPS = reg.RegisterLabelled("rccsim_farm_worker_points_per_second",
+				"Completed points per wall-clock second per worker", obs.Gauge, map[string]string{"worker": name})
+		}
+		c.workers[name] = wi
+		c.sWorkers.Set(uint64(len(c.workers)))
+	}
+	return wi
+}
+
+// expire fires when a lease outlives its heartbeat deadline: the worker
+// is presumed dead and the point is requeued (bounded) or failed.
+func (c *Coordinator) expire(id uint64) {
+	c.mu.Lock()
+	l, ok := c.leases[id]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.leases, id)
+	c.sInflight.Set(uint64(len(c.leases)))
+	if wi := c.workers[l.worker]; wi != nil {
+		wi.lost++
+	}
+	p := c.points[l.seq]
+	if p == nil || p.state != stateLeased {
+		c.mu.Unlock()
+		return
+	}
+	c.requeues++
+	c.sRequeues.Add(1)
+	p.retries++
+	var msg string
+	switch {
+	case c.draining:
+		c.completeLocked(p, nil, ErrDraining)
+		msg = fmt.Sprintf("farm: lease on point %d (%s) lost during drain; abandoning", l.seq, p.label())
+	case p.retries > c.opts.MaxRetries:
+		c.completeLocked(p, nil, fmt.Errorf("farm: point %d (%s) lost %d leases (last worker %s): giving up",
+			l.seq, p.label(), p.retries, l.worker))
+		msg = fmt.Sprintf("farm: point %d (%s) failed after %d lost leases", l.seq, p.label(), p.retries)
+	default:
+		p.state = statePending
+		c.queue = append(c.queue, l.seq)
+		msg = fmt.Sprintf("farm: worker %s lost lease on point %d (%s); requeued (retry %d/%d)",
+			l.worker, l.seq, p.label(), p.retries, c.opts.MaxRetries)
+	}
+	c.mu.Unlock()
+	c.logf("%s", msg)
+}
+
+// handleHeartbeat extends a live lease's deadline.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb heartbeatPost
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+		http.Error(w, "farm: bad heartbeat", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	l, ok := c.leases[hb.Lease]
+	if ok {
+		l.timer.Reset(c.opts.LeaseTimeout)
+	}
+	c.mu.Unlock()
+	if !ok {
+		http.Error(w, "farm: lease not found", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleResult accepts a finished point. Results are keyed by point, not
+// lease: a late result from an expired lease still resolves the point if
+// nothing else has (first result wins — by determinism all results for a
+// point are identical).
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var rp resultPost
+	if err := json.NewDecoder(r.Body).Decode(&rp); err != nil {
+		http.Error(w, "farm: bad result", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	if l, ok := c.leases[rp.Lease]; ok && l.seq == rp.Seq {
+		l.timer.Stop()
+		delete(c.leases, rp.Lease)
+		c.sInflight.Set(uint64(len(c.leases)))
+	}
+	p, ok := c.points[rp.Seq]
+	if !ok {
+		c.mu.Unlock()
+		http.Error(w, "farm: unknown point", http.StatusBadRequest)
+		return
+	}
+	if p.state == stateDone {
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusOK) // duplicate/late result: already resolved
+		return
+	}
+	if rp.Err != "" {
+		// Simulation failures are deterministic: retrying elsewhere would
+		// reproduce them, so fail the point immediately.
+		c.completeLocked(p, nil, fmt.Errorf("farm: point %d (%s) failed on worker %s: %s",
+			rp.Seq, p.label(), rp.Worker, rp.Err))
+	} else if st, err := stats.DecodeWire(rp.Stats); err != nil {
+		c.completeLocked(p, nil, fmt.Errorf("farm: point %d (%s): undecodable result from worker %s: %v",
+			rp.Seq, p.label(), rp.Worker, err))
+	} else {
+		c.completeLocked(p, st, nil)
+		if wi := c.touchWorkerLocked(rp.Worker); wi != nil {
+			wi.points++
+			wi.sPoints.Add(1)
+			if el := time.Since(wi.firstSeen).Seconds(); el > 0 {
+				wi.sPPS.SetFloat(float64(wi.points) / el)
+			}
+		}
+	}
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+// completeLocked resolves a point and wakes its Execute. Caller holds c.mu.
+func (c *Coordinator) completeLocked(p *point, st *stats.Run, err error) {
+	p.state = stateDone
+	p.st, p.err = st, err
+	c.doneCount++
+	c.sDone.Set(uint64(c.doneCount))
+	close(p.done)
+}
+
+// handleStatus serves the JSON snapshot.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(c.Status())
+}
+
+// Status snapshots the coordinator state.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Status{
+		Total:    c.seq,
+		Done:     c.doneCount,
+		Pending:  len(c.queue),
+		Requeues: c.requeues,
+		Draining: c.draining,
+	}
+	for _, l := range c.leases {
+		s.Inflight = append(s.Inflight, InflightJob{Seq: l.seq, Label: c.points[l.seq].label(), Worker: l.worker})
+	}
+	for name, wi := range c.workers {
+		ws := WorkerStatus{Name: name, Points: wi.points, Lost: wi.lost}
+		if el := time.Since(wi.firstSeen).Seconds(); el > 0 {
+			ws.PointsPerSec = float64(wi.points) / el
+		}
+		s.Workers = append(s.Workers, ws)
+	}
+	sortStatus(&s)
+	return s
+}
+
+// sortStatus orders the snapshot slices deterministically for display.
+func sortStatus(s *Status) {
+	for i := 1; i < len(s.Inflight); i++ { // insertion sort: slices are tiny
+		for j := i; j > 0 && s.Inflight[j].Seq < s.Inflight[j-1].Seq; j-- {
+			s.Inflight[j], s.Inflight[j-1] = s.Inflight[j-1], s.Inflight[j]
+		}
+	}
+	for i := 1; i < len(s.Workers); i++ {
+		for j := i; j > 0 && s.Workers[j].Name < s.Workers[j-1].Name; j-- {
+			s.Workers[j], s.Workers[j-1] = s.Workers[j-1], s.Workers[j]
+		}
+	}
+}
+
+// Requeues reports how many leases were lost and requeued (tests, CLI
+// summary).
+func (c *Coordinator) Requeues() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.requeues
+}
+
+// Drain begins a graceful shutdown: new lease requests receive 503 with a
+// Retry-After, queued-but-unleased points resolve immediately with
+// ErrDraining, and leased points are left to finish (their workers keep
+// heartbeating) so no completed work is dropped. A lease lost during the
+// drain abandons its point with ErrDraining instead of requeueing.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	c.draining = true
+	queued := c.queue
+	c.queue = nil
+	for _, s := range queued {
+		if p := c.points[s]; p != nil && p.state == statePending {
+			c.completeLocked(p, nil, ErrDraining)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// DrainDone reports whether no leases remain outstanding after a Drain —
+// i.e. every in-flight point has been flushed or abandoned.
+func (c *Coordinator) DrainDone() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining && len(c.leases) == 0
+}
+
+// Close finishes the sweep: lease requests now answer 410 Gone (workers
+// exit their poll loops), outstanding timers stop, and any still-
+// unresolved point resolves with ErrClosed.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.closed = true
+	for id, l := range c.leases {
+		l.timer.Stop()
+		delete(c.leases, id)
+	}
+	c.sInflight.Set(0)
+	c.queue = nil
+	for _, p := range c.points {
+		if p.state != stateDone {
+			c.completeLocked(p, nil, ErrClosed)
+		}
+	}
+	c.mu.Unlock()
+}

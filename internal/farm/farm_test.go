@@ -1,0 +1,345 @@
+package farm_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"rccsim/internal/config"
+	"rccsim/internal/experiments"
+	"rccsim/internal/farm"
+	"rccsim/internal/obs"
+	"rccsim/internal/sim"
+	"rccsim/internal/workload"
+)
+
+// tinyBase keeps farm tests to sub-second simulations.
+func tinyBase() config.Config {
+	cfg := config.Small()
+	cfg.Scale = 0.05
+	return cfg
+}
+
+func tinyBench(t *testing.T) workload.Benchmark {
+	t.Helper()
+	b, ok := workload.ByName("DLB")
+	if !ok {
+		t.Fatal("benchmark DLB not found")
+	}
+	return b
+}
+
+// startWorker launches one in-process worker against url and returns a
+// stop function that cancels it and waits for its exit.
+func startWorker(t *testing.T, url, name string, jobs int) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	w := &farm.Worker{
+		Coordinator: url,
+		Name:        name,
+		Jobs:        jobs,
+		Poll:        5 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		Logf:        t.Logf,
+	}
+	go func() { done <- w.Run(ctx) }()
+	return func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("worker %s exited with error: %v", name, err)
+		}
+	}
+}
+
+// TestFarmSweepMatchesLocal is the core acceptance test: a sweep fanned
+// over a loopback coordinator and two in-process workers produces results
+// identical to the plain in-process -j 4 pool.
+func TestFarmSweepMatchesLocal(t *testing.T) {
+	base := tinyBase()
+	b := tinyBench(t)
+	leases := []uint64{8, 32, 64}
+
+	local, err := experiments.LeaseSweep(base, b, leases, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := farm.NewCoordinator(farm.Options{LeaseTimeout: 5 * time.Second})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	stop1 := startWorker(t, srv.URL, "w1", 2)
+	stop2 := startWorker(t, srv.URL, "w2", 2)
+
+	farmed, err := experiments.LeaseSweep(base, b, leases, len(leases), experiments.WithExecutor(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // workers see 410 and exit their poll loops
+	stop1()
+	stop2()
+
+	if !reflect.DeepEqual(local, farmed) {
+		t.Errorf("farmed sweep differs from local -j 4:\n got  %+v\n want %+v", farmed, local)
+	}
+	st := c.Status()
+	if st.Done != len(leases) || st.Total != len(leases) {
+		t.Errorf("status done=%d total=%d, want %d/%d", st.Done, st.Total, len(leases), len(leases))
+	}
+	var points int
+	for _, w := range st.Workers {
+		points += w.Points
+	}
+	if points != len(leases) {
+		t.Errorf("workers report %d points total, want %d", points, len(leases))
+	}
+}
+
+// leaseRaw grabs one lease over raw HTTP, acting as a worker that will
+// never heartbeat or post — a zombie.
+func leaseRaw(t *testing.T, url, worker string) (job struct {
+	Lease uint64 `json:"lease"`
+	Seq   int    `json:"seq"`
+}, code int) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"worker": worker, "digest": sim.GoldenDigest()})
+	resp, err := http.Post(url+"/farm/lease", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return job, resp.StatusCode
+}
+
+// TestFarmRequeuesDeadWorker kills a worker mid-sweep (a zombie leases a
+// point and vanishes without heartbeating) and requires the sweep to
+// finish anyway, with the lost point requeued onto the live worker.
+func TestFarmRequeuesDeadWorker(t *testing.T) {
+	base := tinyBase()
+	b := tinyBench(t)
+	leases := []uint64{8, 32}
+
+	c := farm.NewCoordinator(farm.Options{
+		LeaseTimeout: 150 * time.Millisecond,
+		MaxRetries:   5,
+		Logf:         t.Logf,
+	})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// Enqueue the sweep, then let the zombie steal a point before any
+	// live worker exists.
+	type sweepOut struct {
+		rows any
+		err  error
+	}
+	out := make(chan sweepOut, 1)
+	go func() {
+		rows, err := experiments.LeaseSweep(base, b, leases, len(leases), experiments.WithExecutor(c))
+		out <- sweepOut{rows, err}
+	}()
+	waitFor(t, time.Second, func() bool { s := c.Status(); return s.Pending > 0 })
+	if _, code := leaseRaw(t, srv.URL, "zombie"); code != http.StatusOK {
+		t.Fatalf("zombie lease: status %d, want 200", code)
+	}
+
+	stop := startWorker(t, srv.URL, "live", 2)
+	res := <-out
+	c.Close()
+	stop()
+
+	if res.err != nil {
+		t.Fatalf("sweep failed despite requeue: %v", res.err)
+	}
+	if got := c.Requeues(); got < 1 {
+		t.Errorf("requeues = %d, want >= 1 (zombie's lease must expire and requeue)", got)
+	}
+	local, err := experiments.LeaseSweep(base, b, leases, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(local, res.rows) {
+		t.Errorf("post-requeue sweep differs from local:\n got  %+v\n want %+v", res.rows, local)
+	}
+	st := c.Status()
+	for _, w := range st.Workers {
+		if w.Name == "zombie" && w.Lost < 1 {
+			t.Errorf("zombie worker shows %d lost leases, want >= 1", w.Lost)
+		}
+	}
+}
+
+// TestFarmHeartbeatOutlivesLeaseTimeout pins that a slow-but-alive worker
+// is not robbed of its lease: heartbeats reset the deadline, so a point
+// that takes several lease-timeouts to simulate still completes without a
+// requeue.
+func TestFarmHeartbeatOutlivesLeaseTimeout(t *testing.T) {
+	base := tinyBase()
+	b := tinyBench(t)
+
+	c := farm.NewCoordinator(farm.Options{LeaseTimeout: 120 * time.Millisecond, Logf: t.Logf})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// slowExec sleeps past several lease timeouts before simulating.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	w := &farm.Worker{
+		Coordinator: srv.URL,
+		Name:        "slow",
+		Jobs:        1,
+		Poll:        5 * time.Millisecond,
+		Exec:        slowExecutor{delay: 400 * time.Millisecond},
+		Logf:        t.Logf,
+	}
+	go func() { done <- w.Run(ctx) }()
+
+	res, err := c.Execute(withProto(base, config.RCC), b)
+	c.Close()
+	cancel()
+	if werr := <-done; werr != nil {
+		t.Errorf("worker error: %v", werr)
+	}
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Stats == nil {
+		t.Fatal("Execute returned nil stats")
+	}
+	if got := c.Requeues(); got != 0 {
+		t.Errorf("requeues = %d, want 0 (heartbeats must keep the slow lease alive)", got)
+	}
+}
+
+type slowExecutor struct{ delay time.Duration }
+
+func (s slowExecutor) Execute(cfg config.Config, b workload.Benchmark) (sim.Result, error) {
+	time.Sleep(s.delay)
+	return sim.RunBenchmark(cfg, b)
+}
+
+func withProto(cfg config.Config, p config.Protocol) config.Config {
+	cfg.Protocol = p
+	return cfg
+}
+
+// TestFarmRejectsMismatchedBinary: a worker whose golden digest differs
+// from the coordinator's gets 409, never a job.
+func TestFarmRejectsMismatchedBinary(t *testing.T) {
+	c := farm.NewCoordinator(farm.Options{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	body, _ := json.Marshal(map[string]string{"worker": "stale", "digest": "not-the-real-digest"})
+	resp, err := http.Post(srv.URL+"/farm/lease", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched digest lease: status %d, want 409", resp.StatusCode)
+	}
+	c.Close()
+}
+
+// TestFarmDrain pins the graceful-shutdown contract: after Drain, queued
+// points resolve with ErrDraining, and lease requests answer 503 with a
+// Retry-After header.
+func TestFarmDrain(t *testing.T) {
+	base := tinyBase()
+	b := tinyBench(t)
+	c := farm.NewCoordinator(farm.Options{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var execErr error
+	go func() {
+		defer wg.Done()
+		_, execErr = c.Execute(withProto(base, config.RCC), b)
+	}()
+	waitFor(t, time.Second, func() bool { return c.Status().Pending == 1 })
+
+	c.Drain()
+	wg.Wait()
+	if !errors.Is(execErr, farm.ErrDraining) {
+		t.Errorf("queued Execute resolved with %v, want ErrDraining", execErr)
+	}
+	if !c.DrainDone() {
+		t.Error("DrainDone() = false with no leases outstanding")
+	}
+
+	body, _ := json.Marshal(map[string]string{"worker": "late", "digest": sim.GoldenDigest()})
+	resp, err := http.Post(srv.URL+"/farm/lease", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("lease during drain: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 during drain is missing the Retry-After header")
+	}
+	c.Close()
+}
+
+// TestFarmFleetMetrics checks the coordinator's obs wiring: inflight
+// leases, worker gauges and per-worker points land in the registry and
+// render in the OpenMetrics exposition.
+func TestFarmFleetMetrics(t *testing.T) {
+	base := tinyBase()
+	b := tinyBench(t)
+	reg := obs.NewRegistry()
+	c := farm.NewCoordinator(farm.Options{Registry: reg})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	stop := startWorker(t, srv.URL, "metrics-w", 1)
+
+	if _, err := c.Execute(withProto(base, config.RCC), b); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	stop()
+
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp := buf.String()
+	for _, want := range []string{
+		"rccsim_farm_points_done 1",
+		"rccsim_farm_workers 1",
+		`rccsim_farm_worker_points_total{worker="metrics-w"} 1`,
+	} {
+		if !bytes.Contains([]byte(exp), []byte(want)) {
+			t.Errorf("exposition missing %q:\n%s", want, exp)
+		}
+	}
+}
+
+// waitFor polls cond until true or the deadline, failing the test on
+// timeout.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}

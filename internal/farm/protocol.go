@@ -1,0 +1,110 @@
+// Package farm shards an experiment point matrix across worker processes
+// over HTTP — the multi-process layer above the experiment Runner's
+// in-process pool.
+//
+// Topology: one coordinator owns the sweep. It enqueues points (an
+// Execute call per point, issued by the unchanged experiments harness)
+// and serves a small stdlib-only HTTP protocol; N workers — anywhere that
+// can reach the coordinator — pull points, simulate them locally, and
+// post the finished stats back as the stable wire encoding
+// (stats.WireBytes). Because every point is bit-deterministic per
+// (config, benchmark), and results are replayed into the sweep in point
+// order exactly like the -j worker pool's buffers, a farmed sweep's
+// output is byte-identical to a sequential run no matter how points land
+// on workers.
+//
+// Fault model: a lease is granted per point with a heartbeat deadline.
+// Workers heartbeat while simulating; a worker that dies (or loses the
+// network) misses its deadline, the lease expires, and the point is
+// requeued — up to MaxRetries times, after which the sweep fails rather
+// than loops. Late results from a lost lease are still accepted if the
+// point is unresolved (first result wins; all results for a point are
+// identical by determinism). A worker whose coordinator vanishes retries
+// with bounded exponential backoff, then exits.
+//
+// Protocol (JSON bodies, all under /farm/):
+//
+//	POST /farm/lease     {"worker": w, "digest": d} → 200 Job | 204 none pending
+//	                                               | 409 binary digest mismatch
+//	                                               | 410 sweep finished
+//	                                               | 503 + Retry-After: draining
+//	POST /farm/heartbeat {"worker": w, "lease": l} → 200 | 404 lease lost
+//	POST /farm/result    {"worker": w, "lease": l, "seq": s,
+//	                      "stats": base64 | "err": msg}      → 200
+//	GET  /farm/status                              → JSON snapshot
+package farm
+
+import (
+	"rccsim/internal/config"
+	"rccsim/internal/sim"
+	"rccsim/internal/workload"
+)
+
+// Executor runs one simulation point to completion — structurally
+// identical to experiments.Executor, redeclared here so farm and
+// experiments stay import-cycle-free while Coordinator satisfies both.
+type Executor interface {
+	Execute(cfg config.Config, b workload.Benchmark) (sim.Result, error)
+}
+
+// Job is one leased point as sent to a worker.
+type Job struct {
+	Lease       uint64        `json:"lease"` // unique lease id; heartbeat and result carry it
+	Seq         int           `json:"seq"`   // point index within the sweep
+	Bench       string        `json:"bench"`
+	Config      config.Config `json:"config"`
+	HeartbeatMS int64         `json:"heartbeat_ms"` // worker should heartbeat this often
+}
+
+// leaseRequest is the body of POST /farm/lease. Digest is the worker
+// binary's behaviour fingerprint (sim.GoldenDigest); the coordinator
+// answers 409 Conflict on a mismatch so a stale worker binary cannot
+// silently poison a deterministic sweep.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	Digest string `json:"digest"`
+}
+
+// heartbeatPost is the body of POST /farm/heartbeat.
+type heartbeatPost struct {
+	Worker string `json:"worker"`
+	Lease  uint64 `json:"lease"`
+}
+
+// resultPost is the body of POST /farm/result. Stats carries the
+// stats.WireBytes encoding (base64 in JSON); Err a deterministic
+// simulation failure (which fails the point — retrying a deterministic
+// error reproduces it).
+type resultPost struct {
+	Worker string `json:"worker"`
+	Lease  uint64 `json:"lease"`
+	Seq    int    `json:"seq"`
+	Stats  []byte `json:"stats,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// Status is the GET /farm/status snapshot.
+type Status struct {
+	Total    int            `json:"total"`    // points enqueued so far
+	Done     int            `json:"done"`     // points resolved
+	Pending  int            `json:"pending"`  // queued, not leased
+	Inflight []InflightJob  `json:"inflight"` // leased, awaiting result
+	Workers  []WorkerStatus `json:"workers"`
+	Requeues uint64         `json:"requeues"` // leases lost and points requeued
+	Draining bool           `json:"draining"`
+}
+
+// InflightJob describes one active lease.
+type InflightJob struct {
+	Seq    int    `json:"seq"`
+	Label  string `json:"label"` // "bench/protocol"
+	Worker string `json:"worker"`
+}
+
+// WorkerStatus summarizes one worker the coordinator has seen.
+type WorkerStatus struct {
+	Name         string  `json:"name"`
+	Points       int     `json:"points"` // results accepted from this worker
+	PointsPerSec float64 `json:"points_per_sec"`
+	Lost         int     `json:"lost"` // leases this worker let expire
+}

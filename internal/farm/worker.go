@@ -1,0 +1,324 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rccsim/internal/config"
+	"rccsim/internal/sim"
+	"rccsim/internal/workload"
+)
+
+// localExecutor is the worker's default point runner: the in-process
+// simulator. Mirrors experiments.LocalExecutor (redeclared to stay
+// import-cycle-free).
+type localExecutor struct{}
+
+func (localExecutor) Execute(cfg config.Config, b workload.Benchmark) (sim.Result, error) {
+	return sim.RunBenchmark(cfg, b)
+}
+
+// Worker pulls leased points from a coordinator, simulates them locally,
+// and posts results back. The zero value plus a Coordinator URL is
+// usable; Run blocks until the sweep finishes (410), the context is
+// cancelled, or the coordinator stays unreachable past the retry budget.
+type Worker struct {
+	// Coordinator is the base URL, e.g. "http://host:9100".
+	Coordinator string
+	// Name identifies this worker in leases, /farm/status and fleet
+	// metrics. Default: "host-pid".
+	Name string
+	// Jobs is how many points to simulate concurrently. Default:
+	// GOMAXPROCS.
+	Jobs int
+	// Shards overrides Config.Shards on received jobs (sharding is
+	// result-invariant, so each worker picks what suits its cores).
+	// 0 leaves the coordinator's value.
+	Shards int
+	// Exec runs each point; default is the in-process simulator. Wrap it
+	// (e.g. experiments.CachedExecutor) for a worker-local result cache.
+	Exec Executor
+	// Client is the HTTP client; default http.DefaultClient.
+	Client *http.Client
+	// Poll is the idle-queue poll interval and the initial retry backoff.
+	// Default 100ms.
+	Poll time.Duration
+	// MaxBackoff caps the exponential backoff. Default 3s.
+	MaxBackoff time.Duration
+	// MaxAttempts bounds consecutive failed coordinator contacts before
+	// the worker gives up. Default 8.
+	MaxAttempts int
+	// Logf, when non-nil, receives operational messages.
+	Logf func(format string, args ...any)
+
+	// contacted flips once any slot reaches the coordinator. A coordinator
+	// that vanishes afterwards most likely finished its sweep and exited
+	// (it serves 410 only while alive), so the worker winds down cleanly
+	// instead of reporting an error.
+	contacted atomic.Bool
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+// Run executes the worker loop: Jobs concurrent slots, each leasing,
+// simulating, heartbeating and posting until the coordinator reports the
+// sweep finished. A cancelled context finishes in-flight points and
+// posts their results before returning (no completed work is dropped),
+// then exits nil.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Coordinator == "" {
+		return errors.New("farm: worker needs a coordinator URL")
+	}
+	if w.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		w.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	jobs := w.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if w.Poll <= 0 {
+		w.Poll = 100 * time.Millisecond
+	}
+	if w.MaxBackoff <= 0 {
+		w.MaxBackoff = 3 * time.Second
+	}
+	if w.MaxAttempts <= 0 {
+		w.MaxAttempts = 8
+	}
+	if w.Exec == nil {
+		w.Exec = localExecutor{}
+	}
+	digest := sim.GoldenDigest()
+
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			errs[slot] = w.slot(ctx, digest)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slot is one lease-simulate-post loop.
+func (w *Worker) slot(ctx context.Context, digest string) error {
+	backoff := w.Poll
+	fails := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		var job Job
+		code, retryAfter, err := w.post(ctx, "/farm/lease", leaseRequest{Worker: w.Name, Digest: digest}, &job)
+		switch {
+		case err != nil:
+			fails++
+			if fails >= w.MaxAttempts {
+				if w.contacted.Load() {
+					w.logf("farm: coordinator gone after serving us; assuming the sweep finished")
+					return nil
+				}
+				return fmt.Errorf("farm: coordinator unreachable after %d attempts: %w", fails, err)
+			}
+			w.logf("farm: lease attempt failed (%d/%d): %v", fails, w.MaxAttempts, err)
+		case code == http.StatusOK:
+			fails = 0
+			backoff = w.Poll
+			w.contacted.Store(true)
+			w.runJob(ctx, job)
+			continue
+		case code == http.StatusNoContent:
+			fails = 0 // coordinator alive, queue momentarily empty
+			w.contacted.Store(true)
+		case code == http.StatusGone:
+			return nil // sweep finished
+		case code == http.StatusServiceUnavailable:
+			fails++
+			if fails >= w.MaxAttempts {
+				return errors.New("farm: coordinator stayed draining past the retry budget")
+			}
+			if retryAfter > 0 {
+				backoff = retryAfter
+			}
+		case code == http.StatusConflict:
+			return errors.New("farm: worker binary does not match the coordinator's (golden digest mismatch); rebuild the worker from the same source")
+		default:
+			return fmt.Errorf("farm: coordinator answered lease with unexpected status %d", code)
+		}
+		if !sleepCtx(ctx, backoff) {
+			return nil
+		}
+		if backoff *= 2; backoff > w.MaxBackoff {
+			backoff = w.MaxBackoff
+		}
+	}
+}
+
+// runJob simulates one leased point, heartbeating throughout, and posts
+// the result. Simulation runs to completion even if ctx is cancelled
+// mid-point — the machine has no preemption point, and posting the
+// finished result is what lets a graceful shutdown flush instead of
+// wasting the work.
+func (w *Worker) runJob(ctx context.Context, job Job) {
+	res := resultPost{Worker: w.Name, Lease: job.Lease, Seq: job.Seq}
+	b, ok := workload.ByName(job.Bench)
+	if !ok {
+		res.Err = fmt.Sprintf("unknown benchmark %q", job.Bench)
+		w.postResult(ctx, res)
+		return
+	}
+	stop := make(chan struct{})
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		w.heartbeat(ctx, job, stop)
+	}()
+	cfg := job.Config
+	if w.Shards != 0 {
+		cfg.Shards = w.Shards
+	}
+	r, err := w.Exec.Execute(cfg, b)
+	close(stop)
+	hb.Wait()
+	if err != nil {
+		res.Err = err.Error()
+	} else {
+		res.Stats = r.Stats.WireBytes()
+	}
+	w.postResult(ctx, res)
+}
+
+// heartbeat keeps job's lease alive until stop closes. A 404 means the
+// lease already expired; the worker stops heartbeating but still finishes
+// and posts (late results are accepted if the point is unresolved).
+func (w *Worker) heartbeat(ctx context.Context, job Job, stop chan struct{}) {
+	every := time.Duration(job.HeartbeatMS) * time.Millisecond
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			code, _, err := w.post(ctx, "/farm/heartbeat", heartbeatPost{Worker: w.Name, Lease: job.Lease}, nil)
+			if err == nil && code == http.StatusNotFound {
+				w.logf("farm: lease %d (point %d) expired under us; finishing anyway", job.Lease, job.Seq)
+				return
+			}
+		}
+	}
+}
+
+// postResult delivers a finished point with bounded retries — result
+// loss means the coordinator re-simulates the point somewhere else, so
+// it is worth a few attempts, but not an unbounded loop against a dead
+// coordinator.
+func (w *Worker) postResult(ctx context.Context, res resultPost) {
+	backoff := w.Poll
+	for attempt := 1; ; attempt++ {
+		code, _, err := w.post(ctx, "/farm/result", res, nil)
+		if err == nil && code < 500 {
+			return
+		}
+		if attempt >= w.MaxAttempts {
+			w.logf("farm: dropping result for point %d after %d attempts (last err: %v, code %d)",
+				res.Seq, attempt, err, code)
+			return
+		}
+		if !sleepCtx(ctx, backoff) {
+			// Cancelled mid-retry: one last immediate try, then give up.
+			if _, _, err := w.post(context.Background(), "/farm/result", res, nil); err != nil {
+				w.logf("farm: dropping result for point %d on shutdown: %v", res.Seq, err)
+			}
+			return
+		}
+		if backoff *= 2; backoff > w.MaxBackoff {
+			backoff = w.MaxBackoff
+		}
+	}
+}
+
+// post sends one JSON request and decodes a JSON reply into out (when
+// non-nil and the status is 200). Returns the HTTP status and any parsed
+// Retry-After duration.
+func (w *Worker) post(ctx context.Context, path string, body, out any) (code int, retryAfter time.Duration, err error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(buf))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if derr := json.NewDecoder(resp.Body).Decode(out); derr != nil {
+			return resp.StatusCode, retryAfter, derr
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+// sleepCtx sleeps d or until ctx cancels; reports whether the full sleep
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -32,6 +32,15 @@ func StartServer(addr string, reg *Registry, tr *Tracker) (string, error) {
 // scraping mid-run observes a consistent snapshot of finished spans. A nil
 // recorder serves 404 on /spans (span recording off).
 func StartServerSpans(addr string, reg *Registry, tr *Tracker, sp *span.Recorder) (string, error) {
+	return StartServerFarm(addr, reg, tr, sp, nil)
+}
+
+// StartServerFarm is StartServerSpans plus a farm coordinator handler
+// mounted under /farm/ — so one listener serves both the sweep's
+// introspection endpoints (/metrics with the fleet series, /runs with
+// worker assignments) and the worker-facing lease protocol. A nil farm
+// handler mounts nothing.
+func StartServerFarm(addr string, reg *Registry, tr *Tracker, sp *span.Recorder, farm http.Handler) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -55,6 +64,9 @@ func StartServerSpans(addr string, reg *Registry, tr *Tracker, sp *span.Recorder
 			w.Header().Set("Content-Type", "application/json")
 			_ = sp.WriteJSON(w, top)
 		})
+	}
+	if farm != nil {
+		mux.Handle("/farm/", farm)
 	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

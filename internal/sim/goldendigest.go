@@ -1,0 +1,23 @@
+package sim
+
+import (
+	_ "embed"
+	"strings"
+)
+
+// goldenStatsDigest is the checked-in cross-protocol golden stats digest
+// (testdata/golden_stats.digest, pinned by TestCrossProtocolGoldenDigest
+// and regenerated only when a change deliberately alters simulated
+// behaviour). Compiling it into the binary gives every build a cheap
+// behavioural fingerprint: two binaries with the same digest produce
+// bit-identical stats for the same (config, benchmark) point.
+//
+//go:embed testdata/golden_stats.digest
+var goldenStatsDigest string
+
+// GoldenDigest returns the behavioural fingerprint of this binary: the
+// embedded golden stats digest. The result cache keys entries on it, so
+// cached points survive any refactor that keeps simulated behaviour
+// bit-identical, and invalidate en masse the moment the digest is
+// regenerated for a behavioural change.
+func GoldenDigest() string { return strings.TrimSpace(goldenStatsDigest) }

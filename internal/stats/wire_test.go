@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// populated builds a Run with every uint64 leaf set to a distinct non-zero
+// value, so any dropped or reordered field shows up as a mismatch.
+func populated() *Run {
+	r := New()
+	next := uint64(1)
+	var fill func(v reflect.Value)
+	fill = func(v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Uint64:
+			v.SetUint(next)
+			next += 3
+		case reflect.Array:
+			for i := 0; i < v.Len(); i++ {
+				fill(v.Index(i))
+			}
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				fill(v.Field(i))
+			}
+		}
+	}
+	fill(reflect.ValueOf(r).Elem())
+	return r
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, r := range []*Run{New(), populated()} {
+		b := r.WireBytes()
+		got, err := DecodeWire(b)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Errorf("round trip changed the Run:\n got  %+v\n want %+v", got, r)
+		}
+		if b2 := got.WireBytes(); !bytes.Equal(b, b2) {
+			t.Errorf("re-encode differs from original encoding")
+		}
+	}
+}
+
+// TestWireCoversEveryField is the exhaustiveness tripwire: perturbing any
+// single uint64 leaf of Run must change both the encoding and the digest.
+// A field the reflection walk somehow skipped (or a future non-uint64
+// field that panics the walk) fails here, not in production.
+func TestWireCoversEveryField(t *testing.T) {
+	base := populated()
+	baseBytes := base.WireBytes()
+	baseDigest := base.WireDigest()
+
+	// Walk the type to enumerate leaf locations, building closures that
+	// re-resolve each location on a fresh copy and bump it by one.
+	var leaves []func(*Run)
+	var walk func(t reflect.Type, get func(reflect.Value) reflect.Value, path string)
+	walk = func(ty reflect.Type, get func(reflect.Value) reflect.Value, path string) {
+		switch ty.Kind() {
+		case reflect.Uint64:
+			g := get
+			leaves = append(leaves, func(r *Run) {
+				v := g(reflect.ValueOf(r).Elem())
+				v.SetUint(v.Uint() + 1)
+			})
+		case reflect.Array:
+			for i := 0; i < ty.Len(); i++ {
+				i := i
+				g := get
+				walk(ty.Elem(), func(v reflect.Value) reflect.Value { return g(v).Index(i) }, path)
+			}
+		case reflect.Struct:
+			for i := 0; i < ty.NumField(); i++ {
+				i := i
+				g := get
+				walk(ty.Field(i).Type, func(v reflect.Value) reflect.Value { return g(v).Field(i) },
+					path+"."+ty.Field(i).Name)
+			}
+		}
+	}
+	walk(reflect.TypeOf(Run{}), func(v reflect.Value) reflect.Value { return v }, "Run")
+
+	if len(leaves) != wireLeaves {
+		t.Fatalf("test walk found %d leaves, encoder counts %d", len(leaves), wireLeaves)
+	}
+	for i, bump := range leaves {
+		r := populated()
+		bump(r)
+		if bytes.Equal(r.WireBytes(), baseBytes) {
+			t.Errorf("leaf %d: perturbation not visible in wire encoding", i)
+		}
+		if r.WireDigest() == baseDigest {
+			t.Errorf("leaf %d: perturbation not visible in wire digest", i)
+		}
+	}
+}
+
+func TestWireRejectsCorruption(t *testing.T) {
+	good := populated().WireBytes()
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated":  func(b []byte) []byte { return b[:len(b)-5] },
+		"trailing":   func(b []byte) []byte { return append(b, 0) },
+		"bad magic":  func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"bad ver":    func(b []byte) []byte { b[len(wireMagic)] ^= 0xff; return b },
+		"bad leaves": func(b []byte) []byte { b[len(wireMagic)+4] ^= 0xff; return b },
+		"empty":      func([]byte) []byte { return nil },
+	} {
+		b := append([]byte(nil), good...)
+		if _, err := DecodeWire(mutate(b)); err == nil {
+			t.Errorf("%s: decode accepted corrupted bytes", name)
+		}
+	}
+}
+
+// A flipped payload byte is not caught by the header checks — that is the
+// result cache's job (it stores a payload digest alongside). But the bytes
+// must still decode into *different* counters, never silently equal ones.
+func TestWirePayloadFlipChangesDecode(t *testing.T) {
+	r := populated()
+	b := r.WireBytes()
+	b[len(b)-1] ^= 0x01
+	got, err := DecodeWire(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if reflect.DeepEqual(got, r) {
+		t.Error("payload flip decoded to an identical Run")
+	}
+}
+
+func TestWireDigestStableAndDistinct(t *testing.T) {
+	a, b := populated(), populated()
+	if a.WireDigest() != b.WireDigest() {
+		t.Error("identical Runs produced different digests")
+	}
+	b.Cycles++
+	if a.WireDigest() == b.WireDigest() {
+		t.Error("different Runs produced identical digests")
+	}
+	if New().WireDigest() == a.WireDigest() {
+		t.Error("zero Run digest collides with populated Run")
+	}
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Loopback smoke test of the distributed sweep farm: a coordinator and
+# two worker processes on 127.0.0.1 must reproduce the sequential -j
+# sweep byte-for-byte, and a second coordinator run over the same
+# -cache-dir must be served entirely from the content-addressed result
+# cache (100% hit ratio) with identical output again.
+#
+# Usage: scripts/farm_smoke.sh [port]
+#
+# Writes the observed cache-hit-ratio metric line to
+# farm-smoke-metrics.txt for CI artifact upload.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+port="${1:-9143}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/rccsweep" ./cmd/rccsweep
+
+sweep=(-bench DLB -scale 0.1 lease)
+
+echo "farm_smoke: sequential reference (-j 2)"
+"$tmp/rccsweep" "${sweep[@]:0:4}" -j 2 "${sweep[4]}" >"$tmp/seq.out"
+
+echo "farm_smoke: coordinator + 2 workers on 127.0.0.1:$port"
+"$tmp/rccsweep" "${sweep[@]:0:4}" -coordinator "127.0.0.1:$port" \
+	-cache-dir "$tmp/cache" "${sweep[4]}" >"$tmp/farm.out" 2>"$tmp/coord.err" &
+coord=$!
+# Wait for the coordinator's listener before starting workers.
+for _ in $(seq 50); do
+	curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+"$tmp/rccsweep" -worker "http://127.0.0.1:$port" -j 2 -worker-name w1 2>"$tmp/w1.err" &
+w1=$!
+"$tmp/rccsweep" -worker "http://127.0.0.1:$port" -j 2 -worker-name w2 2>"$tmp/w2.err" &
+w2=$!
+wait "$coord"
+wait "$w1"
+wait "$w2"
+
+diff -u "$tmp/seq.out" "$tmp/farm.out" || {
+	echo "farm_smoke: FAIL: farmed sweep output differs from sequential" >&2
+	exit 1
+}
+echo "farm_smoke: farmed output is byte-identical to sequential"
+
+echo "farm_smoke: warm re-run over the result cache (no workers)"
+"$tmp/rccsweep" "${sweep[@]:0:4}" -coordinator "127.0.0.1:$((port + 1))" \
+	-cache-dir "$tmp/cache" "${sweep[4]}" >"$tmp/warm.out" 2>"$tmp/warm.err"
+
+diff -u "$tmp/seq.out" "$tmp/warm.out" || {
+	echo "farm_smoke: FAIL: warm cached sweep output differs from sequential" >&2
+	exit 1
+}
+summary="$(grep 'rccsweep: cache' "$tmp/warm.err" | tail -1)"
+echo "farm_smoke: $summary"
+case "$summary" in
+*"hit ratio 100%"*) ;;
+*)
+	echo "farm_smoke: FAIL: warm run was not served 100% from the cache" >&2
+	exit 1
+	;;
+esac
+
+{
+	echo "farm_smoke_cold: $(grep 'rccsweep: cache' "$tmp/coord.err" | tail -1)"
+	echo "farm_smoke_warm: $summary"
+} >farm-smoke-metrics.txt
+echo "farm_smoke: PASS (metrics in farm-smoke-metrics.txt)"
