@@ -153,8 +153,17 @@ type enumerator struct {
 // requires WellFormed to hold and returns an error if the interleaving
 // space exceeds limits.
 func (p *Prog) Enumerate(limits EnumLimits) (*SCSet, error) {
+	set, _, _, err := p.EnumerateStats(limits)
+	return set, err
+}
+
+// EnumerateStats is Enumerate plus the exploration counters the limits
+// bound: distinct (pc, submask, memory) states visited and memo entries
+// recorded. The model checker reports them, and the near-limit
+// determinism test pins them run-to-run.
+func (p *Prog) EnumerateStats(limits EnumLimits) (*SCSet, int, int, error) {
 	if err := p.WellFormed(); err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	e := &enumerator{limits: limits, memo: make(map[string][]sres)}
 	bySM := make(map[int][]int)
@@ -169,8 +178,18 @@ func (p *Prog) Enumerate(limits EnumLimits) (*SCSet, error) {
 		e.threads = append(e.threads, ops)
 		bySM[th.SM] = append(bySM[th.SM], ti)
 	}
-	for _, g := range bySM {
-		e.groups = append(e.groups, g)
+	// Barrier groups in sorted SM order: ranging over the map directly
+	// would make group order — and with it the whole exploration — depend
+	// on Go's randomized map iteration, so a program sitting at the
+	// MaxStates/MaxEntries boundary could flip between a verdict and an
+	// "exceeds limits" error across runs.
+	sms := make([]int, 0, len(bySM))
+	for sm := range bySM {
+		sms = append(sms, sm)
+	}
+	sort.Ints(sms)
+	for _, sm := range sms {
+		e.groups = append(e.groups, bySM[sm])
 	}
 
 	init := enumState{
@@ -181,7 +200,7 @@ func (p *Prog) Enumerate(limits EnumLimits) (*SCSet, error) {
 	e.normalize(&init)
 	results, err := e.solve(init)
 	if err != nil {
-		return nil, err
+		return nil, e.states, e.entries, err
 	}
 	set := &SCSet{Outcomes: make(map[string]map[string]bool)}
 	for _, r := range results {
@@ -191,7 +210,7 @@ func (p *Prog) Enumerate(limits EnumLimits) (*SCSet, error) {
 		}
 		set.Outcomes[out][r.mem] = true
 	}
-	return set, nil
+	return set, e.states, e.entries, nil
 }
 
 func (e *enumerator) done(st *enumState, ti int) bool {
@@ -322,6 +341,11 @@ func (e *enumerator) solve(st enumState) ([]sres, error) {
 	for _, v := range dedup {
 		r = append(r, v)
 	}
+	// Canonical order inside each memo entry: the dedup map's iteration
+	// order is randomized, and while set-valued results make the final
+	// SCSet order-independent, sorting here keeps every intermediate
+	// structure bit-deterministic too (and test failures reproducible).
+	sort.Slice(r, func(i, j int) bool { return r[i].canon() < r[j].canon() })
 	e.memo[key] = r
 	e.entries += len(r)
 	if e.entries > e.limits.MaxEntries {

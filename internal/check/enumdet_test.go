@@ -1,0 +1,86 @@
+package check
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"rccsim/internal/workload"
+)
+
+// flattenSet renders an SCSet as one canonical string for equality checks.
+func flattenSet(s *SCSet) string {
+	var parts []string
+	for out, mems := range s.Outcomes {
+		var ms []string
+		for m := range mems {
+			ms = append(ms, m)
+		}
+		sort.Strings(ms)
+		parts = append(parts, out+"->"+strings.Join(ms, "/"))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// TestEnumerateBoundaryDeterministic pins the satellite bugfix: barrier
+// groups used to be collected by ranging over a map, so a program sitting
+// exactly at the MaxStates / MaxEntries boundary could flip between a
+// verdict and an "exceeds limits" error across runs. Measure the exact
+// exploration counts once, then assert that limits equal to the counts
+// always succeed (with identical counts and outcome set) and limits one
+// below always fail — across repeated enumerations, which under Go's
+// randomized map iteration covers many orders.
+func TestEnumerateBoundaryDeterministic(t *testing.T) {
+	// Three SMs (three barrier groups in the map) with a mid-program
+	// barrier each, so group handling is actually on the explored path.
+	p := &Prog{Lines: 2, Threads: []Thread{
+		{SM: 0, Warp: 0, Ops: []Op{
+			{Kind: workload.OpStore, Lines: []uint64{0}, Val: 1},
+			{Kind: workload.OpBarrier},
+			{Kind: workload.OpLoad, Lines: []uint64{1}},
+		}},
+		{SM: 1, Warp: 0, Ops: []Op{
+			{Kind: workload.OpStore, Lines: []uint64{1}, Val: 2},
+			{Kind: workload.OpBarrier},
+			{Kind: workload.OpLoad, Lines: []uint64{0}},
+		}},
+		{SM: 2, Warp: 0, Ops: []Op{
+			{Kind: workload.OpLoad, Lines: []uint64{0}},
+			{Kind: workload.OpBarrier},
+			{Kind: workload.OpLoad, Lines: []uint64{1}},
+		}},
+	}}
+
+	set0, states, entries, err := p.EnumerateStats(DefaultEnumLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states < 10 {
+		t.Fatalf("test program explores only %d states; too trivial to exercise the boundary", states)
+	}
+	want := flattenSet(set0)
+
+	for i := 0; i < 20; i++ {
+		// Limits exactly at the measured counts: must always succeed,
+		// with bit-identical counts and outcome set.
+		set, st, en, err := p.EnumerateStats(EnumLimits{MaxStates: states, MaxEntries: entries})
+		if err != nil {
+			t.Fatalf("iter %d: enumeration at exact limits failed: %v", i, err)
+		}
+		if st != states || en != entries {
+			t.Fatalf("iter %d: counts changed: (%d,%d) vs (%d,%d)", i, st, en, states, entries)
+		}
+		if got := flattenSet(set); got != want {
+			t.Fatalf("iter %d: outcome set changed:\n got %s\nwant %s", i, got, want)
+		}
+		// One below the state limit: must always error.
+		if _, _, _, err := p.EnumerateStats(EnumLimits{MaxStates: states - 1, MaxEntries: entries}); err == nil {
+			t.Fatalf("iter %d: enumeration under the state limit unexpectedly succeeded", i)
+		}
+		// One below the entry limit: must always error.
+		if _, _, _, err := p.EnumerateStats(EnumLimits{MaxStates: states, MaxEntries: entries - 1}); err == nil {
+			t.Fatalf("iter %d: enumeration under the entry limit unexpectedly succeeded", i)
+		}
+	}
+}

@@ -1,0 +1,509 @@
+// Explicit-state model checking of the protocol controllers.
+//
+// The differential fuzzer samples the interleaving space; ModelCheck
+// exhausts it for small configurations, running the real machine — SMs,
+// L1s, NoC, L2s, the actual MESI/TCS/RCC controller code — not an
+// abstraction. Nondeterminism is confined to two controlled menus:
+//
+//   - each program thread's initial issue delay (which SM gets ahead);
+//   - each NoC message's extra pipeline delay, chosen at Send time via
+//     the network's DelayChooser hook (which messages get reordered).
+//
+// Given a full choice vector the machine is bit-deterministic, so one
+// "state" of the explored transition system is a choice-vector prefix,
+// and the checker is a replay-based DFS: run the machine taking recorded
+// choices along the prefix and the default (index 0) beyond it, and for
+// every fresh decision point push the sibling prefixes onto a work stack.
+// A visited-set over machine-state fingerprints (see fingerprintMachine)
+// merges converging branches — chiefly siblings whose delay difference
+// was absorbed by port-serialization backlog — and symmetry reduction
+// over program automorphisms prunes equivalent initial delay assignments.
+//
+// Two properties are checked: every run must terminate cleanly with the
+// trace.InvariantSink timestamp invariants intact, and every terminal
+// observation outcome and final memory image must lie inside the exact
+// SC set from Prog.Enumerate. The result carries the full observed
+// outcome set, so a caller can additionally demand equality with the SC
+// set (the cross-validation suite does).
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rccsim/internal/config"
+	"rccsim/internal/sim"
+	"rccsim/internal/trace"
+	"rccsim/internal/workload"
+)
+
+// MCOptions configures one exhaustive exploration of one program under
+// one protocol.
+type MCOptions struct {
+	Protocol config.Protocol
+
+	// DelayMenu holds the initial issue-delay alternatives enumerated per
+	// thread; index 0 is the default branch. The spread should exceed an
+	// L1-miss round trip so "thread B issues after A's stores land" and
+	// "before" are both explored.
+	DelayMenu []uint32
+
+	// JitterMenu holds the extra NoC pipeline-delay alternatives
+	// enumerated per message send. The non-zero entries should exceed a
+	// round trip so a delayed message can be overtaken by a full
+	// request/response exchange.
+	JitterMenu []uint64
+
+	MaxCycles uint64 // per-run cycle cap (0 = config default)
+	MaxRuns   int    // exploration cap; hitting it sets Truncated
+	Symmetry  bool   // prune delay vectors equivalent under program automorphisms
+	Graph     bool   // record the explored state graph
+	Limits    EnumLimits
+
+	// Progress, when set, is invoked after every run (from the calling
+	// goroutine) — live gauges for /metrics.
+	Progress func(MCProgress)
+}
+
+// DefaultMCOptions explores three relative issue positions per thread —
+// immediate, one ~340-cycle miss round trip late, and late enough
+// (1500 cycles) that a couple of cold misses on the other threads have
+// fully drained first — and both "arrives promptly" / "overtaken by a
+// round trip" deliveries per message.
+func DefaultMCOptions() MCOptions {
+	return MCOptions{
+		Protocol:   config.RCC,
+		DelayMenu:  []uint32{1, 420, 1500},
+		JitterMenu: []uint64{0, 430},
+		MaxCycles:  2_000_000,
+		MaxRuns:    1 << 20,
+		Symmetry:   true,
+		Graph:      true,
+		Limits:     DefaultEnumLimits(),
+	}
+}
+
+// LeaseWitnessProg is the pinned witness for the planted weaken-lease
+// bug (core.WeakenLeaseCheckForTest): T0 publishes two lines while T1
+// first primes an L1 lease on line 0, then — when its line-1 load is
+// delayed past both stores — re-reads line 0 from the stale, weakened L1
+// copy. SC forbids observing the second store but not the first from the
+// same thread, so exhaustion provably corners the bug: a correct RCC
+// build explores the identical space with zero violations.
+func LeaseWitnessProg() *Prog {
+	return &Prog{Lines: 2, Threads: []Thread{
+		{SM: 0, Warp: 0, Ops: []Op{
+			{Kind: workload.OpStore, Lines: []uint64{0}, Val: 1},
+			{Kind: workload.OpStore, Lines: []uint64{1}, Val: 2},
+		}},
+		{SM: 1, Warp: 0, Ops: []Op{
+			{Kind: workload.OpLoad, Lines: []uint64{0}},
+			{Kind: workload.OpLoad, Lines: []uint64{1}},
+			{Kind: workload.OpLoad, Lines: []uint64{0}},
+		}},
+	}}
+}
+
+// MCProgress is a live exploration snapshot.
+type MCProgress struct {
+	Runs     int // machine executions so far
+	States   int // distinct machine-state fingerprints
+	Frontier int // work-stack depth
+	Depth    int // decision count of the latest run
+}
+
+// MCFailure is a property violation with its replay recipe.
+type MCFailure struct {
+	Failure *Failure `json:"failure"`
+	Delays  []uint32 `json:"delays"`  // per-thread initial issue delays
+	Jitter  []uint64 `json:"jitter"`  // per-send extra pipeline delays, send order
+	Choices []uint8  `json:"choices"` // raw jitter-menu indices (replay vector)
+}
+
+func (f *MCFailure) String() string {
+	return fmt.Sprintf("%v\n  delays=%v jitter=%v", f.Failure, f.Delays, f.Jitter)
+}
+
+// MCResult is the outcome of one exhaustive exploration.
+type MCResult struct {
+	Protocol string
+	Runs     int
+	States   int // distinct machine-state fingerprints visited
+	MaxDepth int // longest decision vector of any run
+	Failures int // property-violating terminals (runs, not states)
+
+	// Outcomes maps every observation outcome seen at a well-shaped
+	// terminal to the final-memory images seen with it. Always a subset
+	// of the SC set unless Failure is non-nil; the cross-validation
+	// suite additionally asserts equality.
+	Outcomes map[string]map[string]bool
+
+	// Failure is the shortest counterexample found (fewest decisions,
+	// then lexicographically least choice vector), nil when every
+	// terminal satisfied both properties.
+	Failure *MCFailure
+
+	// Truncated: MaxRuns was hit and the space is NOT exhausted.
+	Truncated bool
+
+	Graph *MCGraph // nil unless MCOptions.Graph
+}
+
+// mcRunOutcome is what one machine execution reports back to the driver.
+type mcRunOutcome struct {
+	taken    []uint8 // jitter choices actually made
+	prunedAt int     // first fresh decision whose state was already visited; -1 if none
+	fps      []mcFP  // state fingerprint before each decision
+	fail     *Failure
+	outcome  string // canonical observation outcome ("" if shape failed)
+	memk     string // final memory key
+}
+
+type mcDriver struct {
+	p       *Prog
+	opts    MCOptions
+	set     *SCSet
+	exp     map[string]int
+	cfg     config.Config
+	visited map[mcFP]bool
+	res     *MCResult
+}
+
+// ModelCheck exhaustively explores prog under the options' protocol and
+// choice menus. A non-nil error means the exploration could not run
+// (ill-formed program, enumeration blow-up, machine build failure) — not
+// a verdict.
+func ModelCheck(p *Prog, opts MCOptions) (*MCResult, error) {
+	if len(opts.DelayMenu) == 0 || len(opts.JitterMenu) == 0 {
+		return nil, fmt.Errorf("check: empty model-checking menu")
+	}
+	set, err := p.Enumerate(opts.Limits)
+	if err != nil {
+		return nil, err
+	}
+	cfg := config.Small()
+	cfg.Protocol = opts.Protocol
+	cfg.NumSMs, cfg.WarpsPerSM = p.MachineShape()
+	cfg.Seed = 1 // no seeded randomness left on the explored paths
+	cfg.NoCJitter = 0
+	cfg.Shards = 0
+	if opts.MaxCycles > 0 {
+		cfg.MaxCycles = opts.MaxCycles
+	}
+
+	d := &mcDriver{
+		p:       p,
+		opts:    opts,
+		set:     set,
+		exp:     expectedObs(p),
+		cfg:     cfg,
+		visited: make(map[mcFP]bool),
+		res: &MCResult{
+			Protocol: opts.Protocol.String(),
+			Outcomes: make(map[string]map[string]bool),
+		},
+	}
+	if opts.Graph {
+		d.res.Graph = newMCGraph(strings.ReplaceAll(strings.TrimSpace(p.String()), "\n", " "), d.res.Protocol)
+	}
+
+	var autos []symAction
+	if opts.Symmetry {
+		autos = progAutomorphisms(p)
+	}
+	// Root region: every per-thread delay-menu assignment, lex order,
+	// symmetry-pruned to orbit minima.
+	delayVec := make([]uint8, len(p.Threads))
+	for {
+		if !opts.Symmetry || delayOrbitMinimal(delayVec, autos) {
+			if err := d.explore(delayVec); err != nil {
+				return nil, err
+			}
+			if d.res.Truncated {
+				break
+			}
+		}
+		i := len(delayVec) - 1
+		for ; i >= 0; i-- {
+			delayVec[i]++
+			if int(delayVec[i]) < len(opts.DelayMenu) {
+				break
+			}
+			delayVec[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	// Symmetry pruning skipped orbit-equivalent delay vectors; their
+	// executions' outcomes are the automorphism images of explored ones.
+	if opts.Symmetry && !d.res.Truncated {
+		closeOutcomes(d.res.Outcomes, autos)
+	}
+	d.res.States = len(d.visited)
+	if d.res.Graph != nil {
+		d.res.Graph.finalize()
+	}
+	return d.res, nil
+}
+
+// explore runs the jitter-choice DFS for one fixed delay assignment.
+func (d *mcDriver) explore(delayVec []uint8) error {
+	delays := make([]uint32, len(delayVec))
+	for i, c := range delayVec {
+		delays[i] = d.opts.DelayMenu[c]
+	}
+	delayNode := fmt.Sprintf("d:%v", delays)
+	if g := d.res.Graph; g != nil {
+		if g.addNode(delayNode, "delay") {
+			g.addEdge("root", fmt.Sprintf("delays=%v", delays), delayNode)
+		}
+	}
+
+	stack := [][]uint8{{}}
+	for len(stack) > 0 {
+		if d.opts.MaxRuns > 0 && d.res.Runs >= d.opts.MaxRuns {
+			d.res.Truncated = true
+			return nil
+		}
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		out, err := d.runOne(delays, prefix)
+		if err != nil {
+			return err
+		}
+		d.res.Runs++
+		if len(out.taken) > d.res.MaxDepth {
+			d.res.MaxDepth = len(out.taken)
+		}
+		d.record(out, delayVec, delays, delayNode)
+
+		// Push sibling prefixes for every fresh, unpruned decision. The
+		// push order (descending index, descending alternative) makes the
+		// LIFO stack pop in ascending order; exploration order is fixed
+		// either way, and the visited/outcome sets are order-independent.
+		limit := len(out.taken)
+		if out.prunedAt >= 0 {
+			limit = out.prunedAt
+		}
+		for i := limit - 1; i >= len(prefix); i-- {
+			for alt := len(d.opts.JitterMenu) - 1; alt >= 1; alt-- {
+				sib := make([]uint8, i+1)
+				copy(sib, out.taken[:i])
+				sib[i] = uint8(alt)
+				stack = append(stack, sib)
+			}
+		}
+		if d.opts.Progress != nil {
+			d.opts.Progress(MCProgress{
+				Runs:     d.res.Runs,
+				States:   len(d.visited),
+				Frontier: len(stack),
+				Depth:    len(out.taken),
+			})
+		}
+	}
+	return nil
+}
+
+// runOne executes the machine once: delays fixed, jitter choices replayed
+// from prefix and defaulting to menu index 0 beyond it.
+func (d *mcDriver) runOne(delays []uint32, prefix []uint8) (*mcRunOutcome, error) {
+	out := &mcRunOutcome{prunedAt: -1}
+	cfg := d.cfg
+	wl, err := d.p.WorkloadDelays(cfg, delays)
+	if err != nil {
+		return nil, err
+	}
+	rec := newRecorder(d.p, cfg.WarpsPerSM)
+	m, err := sim.New(cfg, wl, rec)
+	if err != nil {
+		return nil, fmt.Errorf("check: building machine: %w", err)
+	}
+	inv := trace.NewInvariantSink(nil)
+	m.AttachTracer(trace.NewBus(inv))
+	m.SetNoCDelayChooser(func() uint64 {
+		i := len(out.taken)
+		fp := fingerprintMachine(m, d.p, rec)
+		out.fps = append(out.fps, fp)
+		if i >= len(prefix) && out.prunedAt < 0 {
+			if d.visited[fp] {
+				out.prunedAt = i
+			} else {
+				d.visited[fp] = true
+			}
+		}
+		var c uint8
+		if i < len(prefix) {
+			c = prefix[i]
+		}
+		out.taken = append(out.taken, c)
+		return d.opts.JitterMenu[c]
+	})
+
+	fail := func(kind FailKind, format string, args ...any) *Failure {
+		return &Failure{Kind: kind, Protocol: d.res.Protocol, RunSeed: cfg.Seed, Detail: fmt.Sprintf(format, args...)}
+	}
+	if _, err := m.Run(); err != nil {
+		out.fail = fail(FailRunError, "machine error: %v", err)
+		return out, nil
+	}
+	if err := inv.Err(); err != nil {
+		out.fail = fail(FailRunError, "invariant: %v", err)
+		return out, nil
+	}
+	if len(rec.bad) > 0 {
+		out.fail = fail(FailObsShape, "observations outside the program: %s", strings.Join(rec.bad, "; "))
+		return out, nil
+	}
+	for k, want := range d.exp {
+		if got := rec.pos[k]; got != want {
+			out.fail = fail(FailObsShape, "observation %s seen %d times, want %d", k, got, want)
+			return out, nil
+		}
+	}
+	for k, got := range rec.pos {
+		if d.exp[k] == 0 {
+			out.fail = fail(FailObsShape, "unexpected observation position %s (seen %d times)", k, got)
+			return out, nil
+		}
+	}
+	out.outcome = CanonOutcome(rec.entries)
+	final := make([]uint64, d.p.Lines)
+	for l := range final {
+		final[l] = m.ReadLine(Base + uint64(l))
+	}
+	out.memk = memKey(final)
+	if !d.set.AllowsOutcome(out.outcome) {
+		out.fail = fail(FailOutcome, "observed {%s}, not among %d SC outcomes%s",
+			out.outcome, len(d.set.Outcomes), nearestOutcomes(d.set, 4))
+	} else if !d.set.AllowsFinal(out.outcome, out.memk) {
+		out.fail = fail(FailFinalMem, "final memory [%s] with outcome {%s} not SC-reachable", out.memk, out.outcome)
+	}
+	// Terminal fingerprint for the graph (not a decision point, so it is
+	// not part of the pruning set).
+	out.fps = append(out.fps, fingerprintMachine(m, d.p, rec))
+	return out, nil
+}
+
+// record folds one run's terminal verdict and path into the result.
+func (d *mcDriver) record(out *mcRunOutcome, delayVec []uint8, delays []uint32, delayNode string) {
+	if out.fail != nil {
+		d.res.Failures++
+		cand := &MCFailure{Failure: out.fail, Delays: delays, Choices: append([]uint8(nil), out.taken...)}
+		for _, c := range out.taken {
+			cand.Jitter = append(cand.Jitter, d.opts.JitterMenu[c])
+		}
+		if better(cand, delayVec, d.res.Failure) {
+			// Stash the delay choices in front for the comparison key.
+			d.res.Failure = cand
+		}
+	} else {
+		// A program with no loads legitimately has the empty outcome key.
+		if d.res.Outcomes[out.outcome] == nil {
+			d.res.Outcomes[out.outcome] = make(map[string]bool)
+		}
+		d.res.Outcomes[out.outcome][out.memk] = true
+	}
+
+	g := d.res.Graph
+	if g == nil {
+		return
+	}
+	prev := delayNode
+	for i, fp := range out.fps {
+		terminal := i == len(out.fps)-1
+		var id, kind, label string
+		if terminal {
+			kind = "terminal-ok"
+			if out.fail != nil {
+				kind = "terminal-bad"
+			}
+			id = "t:" + fp.String()
+		} else {
+			kind = "state"
+			id = "s:" + fp.String()
+		}
+		if i == 0 {
+			label = "start"
+		} else {
+			label = fmt.Sprintf("j=%d", d.opts.JitterMenu[out.taken[i-1]])
+		}
+		if !g.addNode(id, kind) {
+			return
+		}
+		g.addEdge(prev, label, id)
+		prev = id
+	}
+}
+
+// better reports whether candidate f (with its delay choice vector)
+// beats the incumbent as the shortest counterexample: fewer decisions
+// first, then lexicographically least (delays, choices) vector. The
+// exploration is exhaustive, so the minimum is global and deterministic.
+func better(f *MCFailure, delayVec []uint8, incumbent *MCFailure) bool {
+	if incumbent == nil {
+		return true
+	}
+	if len(f.Choices) != len(incumbent.Choices) {
+		return len(f.Choices) < len(incumbent.Choices)
+	}
+	a := append(append([]uint32(nil), f.Delays...), widen(f.Choices)...)
+	b := append(append([]uint32(nil), incumbent.Delays...), widen(incumbent.Choices)...)
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func widen(v []uint8) []uint32 {
+	out := make([]uint32, len(v))
+	for i, c := range v {
+		out[i] = uint32(c)
+	}
+	return out
+}
+
+// OutcomesEqual compares an explored outcome set against the SC set and
+// describes the first discrepancy ("" when they match exactly — every SC
+// outcome/memory pair was produced by the machine and vice versa).
+func OutcomesEqual(got map[string]map[string]bool, set *SCSet) string {
+	var keys []string
+	for k := range set.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got[k] == nil {
+			return fmt.Sprintf("SC outcome {%s} never produced by the machine", k)
+		}
+		for mem := range set.Outcomes[k] {
+			if !got[k][mem] {
+				return fmt.Sprintf("SC final memory [%s] with outcome {%s} never produced", mem, k)
+			}
+		}
+	}
+	keys = keys[:0]
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if set.Outcomes[k] == nil {
+			return fmt.Sprintf("machine outcome {%s} outside the SC set", k)
+		}
+		for mem := range got[k] {
+			if !set.Outcomes[k][mem] {
+				return fmt.Sprintf("machine final memory [%s] with outcome {%s} outside the SC set", mem, k)
+			}
+		}
+	}
+	return ""
+}

@@ -261,6 +261,27 @@ func (p *Prog) MachineShape() (numSMs, warpsPerSM int) {
 // Operation i of a thread lands at trace pc i+1, which is how the outcome
 // recorder keys observations back to program positions.
 func (p *Prog) Workload(cfg config.Config, rng *timing.RNG) (*workload.Program, error) {
+	return p.workloadWith(cfg, func(int) uint32 { return uint32(rng.Intn(900) + 1) })
+}
+
+// WorkloadDelays is Workload with the per-thread leading compute delays
+// supplied explicitly — delays[ti] (minimum 1 cycle) for program thread
+// ti — instead of drawn from a seed. The model checker materializes one
+// workload per enumerated delay assignment, making the relative issue
+// offsets part of the explored choice vector rather than a random draw.
+func (p *Prog) WorkloadDelays(cfg config.Config, delays []uint32) (*workload.Program, error) {
+	if len(delays) != len(p.Threads) {
+		return nil, fmt.Errorf("check: %d delays for %d threads", len(delays), len(p.Threads))
+	}
+	return p.workloadWith(cfg, func(ti int) uint32 {
+		if delays[ti] == 0 {
+			return 1
+		}
+		return delays[ti]
+	})
+}
+
+func (p *Prog) workloadWith(cfg config.Config, delayFor func(ti int) uint32) (*workload.Program, error) {
 	prog := &workload.Program{SMs: make([][]workload.Trace, cfg.NumSMs)}
 	for i := range prog.SMs {
 		prog.SMs[i] = make([]workload.Trace, cfg.WarpsPerSM)
@@ -270,7 +291,7 @@ func (p *Prog) Workload(cfg config.Config, rng *timing.RNG) (*workload.Program, 
 			return nil, fmt.Errorf("check: thread %d placed at SM %d warp %d, machine is %dx%d",
 				ti, th.SM, th.Warp, cfg.NumSMs, cfg.WarpsPerSM)
 		}
-		tr := workload.Trace{{Op: workload.OpCompute, Lat: uint32(rng.Intn(900) + 1)}}
+		tr := workload.Trace{{Op: workload.OpCompute, Lat: delayFor(ti)}}
 		for _, op := range th.Ops {
 			in := workload.Instr{Op: op.Kind, Val: op.Val, Lat: op.Lat}
 			if op.Kind == workload.OpCompute && in.Lat == 0 {

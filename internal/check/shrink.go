@@ -21,7 +21,6 @@ const maxShrinkEvals = 400
 // if no reduction reproduces (timing-dependent failures can be flaky, and
 // the original program is then the best repro available).
 func Shrink(p *Prog, orig *Failure, opts Options) (*Prog, *Failure) {
-	best, bestFail := p.Clone(), orig
 	evals := 0
 	accept := func(c *Prog) *Failure {
 		if evals >= maxShrinkEvals || c == nil || len(c.Threads) == 0 {
@@ -37,57 +36,85 @@ func Shrink(p *Prog, orig *Failure, opts Options) (*Prog, *Failure) {
 		}
 		return f
 	}
-	for evals < maxShrinkEvals {
-		c, f := shrinkStep(best, accept)
-		if c == nil {
-			break
-		}
-		best, bestFail = c, f
-	}
-	return best, bestFail
+	return shrinkWith(p, orig, accept)
 }
 
-// shrinkStep returns the first accepted reduction of p, or nil when every
-// candidate passes (p is locally minimal).
-func shrinkStep(p *Prog, accept func(*Prog) *Failure) (*Prog, *Failure) {
-	// Whole threads first: the biggest single cut.
-	if len(p.Threads) > 1 {
-		for ti := range p.Threads {
-			c := p.Clone()
+// shrinkWith is the budget-agnostic shrink loop, split out so tests can
+// drive it with a synthetic accept function and count evaluations.
+//
+// Each phase scans its candidate positions with a cursor that does NOT
+// reset when a candidate is accepted: after an accepted cut the next
+// untried candidate shifts into the cursor position, so a rejected
+// candidate is charged once per fixpoint pass instead of once per
+// accepted reduction. (The previous restart-from-scratch scan re-paid
+// every leading rejection after each accept, which exhausted the eval
+// budget on large programs before the thread phase finished.) A full
+// cycle of all three phases with no accepted reduction is a complete
+// scan, so local minimality is unchanged.
+func shrinkWith(p *Prog, orig *Failure, accept func(*Prog) *Failure) (*Prog, *Failure) {
+	best, bestFail := p.Clone(), orig
+	for {
+		reduced := false
+
+		// Whole threads first: the biggest single cut. On accept the
+		// next thread shifts into slot ti; the cursor stays put.
+		for ti := 0; ti < len(best.Threads) && len(best.Threads) > 1; {
+			c := best.Clone()
 			c.Threads = append(c.Threads[:ti], c.Threads[ti+1:]...)
 			clean(c)
 			if f := accept(c); f != nil {
-				return c, f
+				best, bestFail, reduced = c, f, true
+			} else {
+				ti++
 			}
 		}
-	}
-	// Single operations.
-	for ti := range p.Threads {
-		for oi := range p.Threads[ti].Ops {
-			c := p.Clone()
-			removeOp(c, ti, oi)
-			clean(c)
-			if f := accept(c); f != nil {
-				return c, f
-			}
-		}
-	}
-	// Divergent accesses down to one line.
-	for ti := range p.Threads {
-		for oi, op := range p.Threads[ti].Ops {
-			if len(op.Lines) < 2 {
-				continue
-			}
-			for li := range op.Lines {
-				c := p.Clone()
-				c.Threads[ti].Ops[oi].Lines = []uint64{op.Lines[li]}
+
+		// Single operations. An accepted removal shifts later ops of the
+		// thread into place (cursor stays); if clean dropped a thread the
+		// same slot now holds the next thread, whose ops start at 0.
+		for ti := 0; ti < len(best.Threads); ti++ {
+			for oi := 0; oi < len(best.Threads[ti].Ops); {
+				c := best.Clone()
+				removeOp(c, ti, oi)
+				clean(c)
 				if f := accept(c); f != nil {
-					return c, f
+					threadsBefore := len(best.Threads)
+					best, bestFail, reduced = c, f, true
+					if len(best.Threads) != threadsBefore {
+						oi = 0
+					}
+					if ti >= len(best.Threads) {
+						break
+					}
+				} else {
+					oi++
 				}
 			}
 		}
+
+		// Divergent accesses down to one line. Accepting a collapse
+		// finishes that op (one line left), so the scan moves on.
+		for ti := 0; ti < len(best.Threads); ti++ {
+			for oi := 0; oi < len(best.Threads[ti].Ops); oi++ {
+				op := best.Threads[ti].Ops[oi]
+				if len(op.Lines) < 2 {
+					continue
+				}
+				for li := range op.Lines {
+					c := best.Clone()
+					c.Threads[ti].Ops[oi].Lines = []uint64{op.Lines[li]}
+					if f := accept(c); f != nil {
+						best, bestFail, reduced = c, f, true
+						break
+					}
+				}
+			}
+		}
+
+		if !reduced {
+			return best, bestFail
+		}
 	}
-	return nil, nil
 }
 
 // removeOp deletes operation oi of thread ti. A barrier is removed as a

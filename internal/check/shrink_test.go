@@ -1,0 +1,129 @@
+package check
+
+import (
+	"testing"
+
+	"rccsim/internal/workload"
+)
+
+// TestShrinkBudgetLargeProgram pins the satellite bugfix: the shrinker
+// used to restart its full candidate scan from scratch after every
+// accepted reduction, re-paying every leading rejection against the
+// shared eval budget, so large programs exhausted it mid-scan and came
+// back unminimized. Plant a failure whose witness is three store values
+// spread across a 16-thread × 6-op program and drive shrinkWith with a
+// synthetic accept that counts evaluations: the result must reach the
+// 3-thread / 3-op minimum, and the eval count must stay far below the
+// restart-from-scratch cost (≈180+ for this shape) — well inside the
+// production budget of 400.
+func TestShrinkBudgetLargeProgram(t *testing.T) {
+	const threads, opsPer = 16, 6
+	p := &Prog{Lines: 2}
+	for ti := 0; ti < threads; ti++ {
+		th := Thread{SM: ti, Warp: 0}
+		for oi := 0; oi < opsPer; oi++ {
+			th.Ops = append(th.Ops, Op{
+				Kind:  workload.OpStore,
+				Lines: []uint64{uint64(oi % 2)},
+				Val:   uint64(ti*opsPer + oi + 1),
+			})
+		}
+		p.Threads = append(p.Threads, th)
+	}
+	if err := p.WellFormed(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The planted failure: reproduces iff all three witness store values
+	// survive, in threads 3, 9 and 14.
+	witness := map[uint64]bool{
+		uint64(3*opsPer + 2 + 1):  true,
+		uint64(9*opsPer + 4 + 1):  true,
+		uint64(14*opsPer + 1 + 1): true,
+	}
+	planted := &Failure{Kind: FailOutcome, Detail: "planted"}
+
+	evals := 0
+	accept := func(c *Prog) *Failure {
+		if evals >= maxShrinkEvals || c == nil || len(c.Threads) == 0 {
+			return nil
+		}
+		if c.WellFormed() != nil {
+			return nil
+		}
+		evals++
+		found := 0
+		for _, th := range c.Threads {
+			for _, op := range th.Ops {
+				if witness[op.Val] {
+					found++
+				}
+			}
+		}
+		if found == len(witness) {
+			return planted
+		}
+		return nil
+	}
+
+	small, fail := shrinkWith(p, planted, accept)
+	if fail != planted {
+		t.Fatalf("shrink lost the failure: %v", fail)
+	}
+	nt, nops := small.Shape()
+	if nt > 3 {
+		t.Fatalf("shrunk to %d threads, want <= 3 (budget exhausted mid-scan?)\n%s", nt, small)
+	}
+	if nops > 3 {
+		t.Fatalf("shrunk to %d ops, want <= 3\n%s", nops, small)
+	}
+	for v := range witness {
+		seen := false
+		for _, th := range small.Threads {
+			for _, op := range th.Ops {
+				if op.Val == v {
+					seen = true
+				}
+			}
+		}
+		if !seen {
+			t.Fatalf("witness value %d missing from shrunk program\n%s", v, small)
+		}
+	}
+	// Resumable scans finish this shape in ~40 evals; the old restart
+	// scan needed ≈180+. The bound is the regression teeth.
+	if evals > 120 {
+		t.Fatalf("shrink spent %d evals, want <= 120", evals)
+	}
+	t.Logf("shrunk %dx%d -> %d threads / %d ops in %d evals", threads, opsPer, nt, nops, evals)
+}
+
+// TestShrinkStillMinimizesSmall sanity-checks the refactored loop against
+// an easy case: a 4-thread program whose failure needs a single store.
+func TestShrinkStillMinimizesSmall(t *testing.T) {
+	p := &Prog{Lines: 1}
+	for ti := 0; ti < 4; ti++ {
+		p.Threads = append(p.Threads, Thread{SM: ti, Warp: 0, Ops: []Op{
+			{Kind: workload.OpStore, Lines: []uint64{0}, Val: uint64(ti + 1)},
+			{Kind: workload.OpLoad, Lines: []uint64{0}},
+		}})
+	}
+	planted := &Failure{Kind: FailOutcome, Detail: "planted"}
+	accept := func(c *Prog) *Failure {
+		if c == nil || len(c.Threads) == 0 || c.WellFormed() != nil {
+			return nil
+		}
+		for _, th := range c.Threads {
+			for _, op := range th.Ops {
+				if op.Val == 3 {
+					return planted
+				}
+			}
+		}
+		return nil
+	}
+	small, _ := shrinkWith(p, planted, accept)
+	if nt, nops := small.Shape(); nt != 1 || nops != 1 {
+		t.Fatalf("want 1 thread / 1 op, got %d/%d\n%s", nt, nops, small)
+	}
+}

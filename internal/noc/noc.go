@@ -7,6 +7,8 @@
 package noc
 
 import (
+	"sort"
+
 	"rccsim/internal/coherence"
 	"rccsim/internal/config"
 	"rccsim/internal/obs/span"
@@ -49,9 +51,35 @@ type Network struct {
 	jitter    *timing.RNG
 	jitterMax uint64
 
+	// chooser, when set, replaces the seeded jitter stream with controlled
+	// nondeterminism: Send consults it once per message, in send order, for
+	// the extra pipeline delay. The model checker drives it from a choice
+	// vector, turning each Send into an enumerable decision point. While a
+	// chooser is attached the network also keeps an in-flight log so the
+	// checker can fold the pending delivery schedule into its machine-state
+	// fingerprint (see FoldInflight).
+	chooser  DelayChooser
+	mcLog    []mcEntry
+	mcLogSeq uint64
+
 	// onDeliver, when set, is called after each delivery so the run loop
 	// can re-arm the destination's wake time.
 	onDeliver func(dst int, now timing.Cycle)
+}
+
+// DelayChooser resolves the extra router-pipeline delay of one message at
+// a nondeterministic decision point. It is called exactly once per Send,
+// in send order, which is what lets a model checker replay a prefix of
+// choices deterministically and branch on the suffix.
+type DelayChooser func() uint64
+
+// mcEntry is one in-flight message in the model-checking log: its exact
+// delivery cycle plus a send-order sequence number (the tiebreak the
+// delivery calendar itself uses).
+type mcEntry struct {
+	at  timing.Cycle
+	seq uint64
+	m   *coherence.Msg
 }
 
 // New builds the interconnect for cfg.
@@ -86,6 +114,42 @@ func (n *Network) SetTracer(tr *trace.Bus) { n.tr = tr }
 // SetSpans attaches the causal-span recorder (nil disables).
 func (n *Network) SetSpans(sp *span.Recorder) { n.sp = sp }
 
+// SetChooser attaches a controlled-nondeterminism delay chooser (nil
+// restores the seeded jitter stream, if any). Attach before the first
+// Send; the in-flight log only covers messages sent while a chooser is
+// active.
+func (n *Network) SetChooser(fn DelayChooser) { n.chooser = fn }
+
+// FoldInflight calls fn for every in-flight message, in exact delivery
+// order — (delivery cycle, send order), the order Tick will deliver them.
+// Only meaningful while a DelayChooser is attached; the model checker
+// hashes the pending delivery schedule into its state fingerprint so two
+// states that differ only in when a message will land never merge.
+func (n *Network) FoldInflight(fn func(at timing.Cycle, m *coherence.Msg)) {
+	entries := append([]mcEntry(nil), n.mcLog...)
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].at != entries[j].at {
+			return entries[i].at < entries[j].at
+		}
+		return entries[i].seq < entries[j].seq
+	})
+	for _, e := range entries {
+		fn(e.at, e.m)
+	}
+}
+
+// mcLogRemove drops the log entry for a just-delivered message. Pointer
+// identity is safe here: a Msg is only recycled after its terminal handler
+// runs, which is strictly after delivery removes it from the log.
+func (n *Network) mcLogRemove(m *coherence.Msg) {
+	for i := range n.mcLog {
+		if n.mcLog[i].m == m {
+			n.mcLog = append(n.mcLog[:i], n.mcLog[i+1:]...)
+			return
+		}
+	}
+}
+
 // Send injects m at cycle now. Delivery happens via Tick once the message
 // has traversed injection serialization, the router pipeline, and ejection
 // serialization.
@@ -96,7 +160,9 @@ func (n *Network) Send(m *coherence.Msg, now timing.Cycle) {
 
 	ser := n.serialization(flits)
 	pipe := timing.Cycle(n.cfg.NoCPipeLatency)
-	if n.jitterMax > 0 {
+	if n.chooser != nil {
+		pipe += timing.Cycle(n.chooser())
+	} else if n.jitterMax > 0 {
 		pipe += timing.Cycle(n.jitter.Uint64n(n.jitterMax + 1))
 	}
 
@@ -119,6 +185,11 @@ func (n *Network) Send(m *coherence.Msg, now timing.Cycle) {
 	arrive := endTx + pipe
 	deliver := timing.Max(arrive, *dstFree+ser)
 	*dstFree = deliver
+
+	if n.chooser != nil {
+		n.mcLog = append(n.mcLog, mcEntry{at: deliver, seq: n.mcLogSeq, m: m})
+		n.mcLogSeq++
+	}
 
 	if m.Span != 0 {
 		// Pre-marking at future timestamps is safe: no component
@@ -152,6 +223,9 @@ func (n *Network) Tick(now timing.Cycle) bool {
 			return did
 		}
 		did = true
+		if n.chooser != nil {
+			n.mcLogRemove(m)
+		}
 		n.tr.MsgRecv(now, m)
 		n.nodes[m.Dst].Deliver(m, now)
 		if n.onDeliver != nil {
@@ -177,6 +251,9 @@ func (n *Network) PopDue(limit timing.Cycle) (*coherence.Msg, timing.Cycle, bool
 	m, ok := n.inflight.PopReady(at)
 	if !ok {
 		return nil, 0, false
+	}
+	if n.chooser != nil {
+		n.mcLogRemove(m)
 	}
 	return m, at, true
 }

@@ -136,3 +136,55 @@ func TestFIFOPerPortPair(t *testing.T) {
 		}
 	}
 }
+
+func TestChooserReplacesJitter(t *testing.T) {
+	n, s, _, now, cfg := build(t)
+	calls := 0
+	delays := []uint64{0, 100, 0}
+	n.SetChooser(func() uint64 { d := delays[calls]; calls++; return d })
+
+	base := n.MinLatency(cfg.ControlFlits())
+	n.Send(&coherence.Msg{Type: coherence.GetS, Src: 0, Dst: cfg.NumSMs}, 0)
+	if calls != 1 {
+		t.Fatalf("chooser called %d times after one send, want 1", calls)
+	}
+	if got := n.NextEvent(); got != base {
+		t.Fatalf("zero-delay delivery at %d, want %d", got, base)
+	}
+	// A delayed message from another source must land 100 cycles later and
+	// behind the first in the in-flight log until both deliver.
+	n.Send(&coherence.Msg{Type: coherence.GetS, Src: 1, Dst: cfg.NumSMs + 1}, 0)
+	var seen []timing.Cycle
+	n.FoldInflight(func(at timing.Cycle, m *coherence.Msg) { seen = append(seen, at) })
+	if len(seen) != 2 || seen[0] != base || seen[1] != base+100 {
+		t.Fatalf("in-flight schedule %v, want [%d %d]", seen, base, base+100)
+	}
+	run(n, now, base+101)
+	if len(s.got) != 2 {
+		t.Fatalf("delivered %d messages, want 2", len(s.got))
+	}
+	n.FoldInflight(func(at timing.Cycle, m *coherence.Msg) {
+		t.Fatalf("in-flight log not drained: message at %d", at)
+	})
+	if calls != 2 {
+		t.Fatalf("chooser called %d times, want 2", calls)
+	}
+}
+
+func TestFoldInflightDeliveryOrder(t *testing.T) {
+	n, _, _, _, cfg := build(t)
+	// Later send, earlier delivery: the fold must come out in delivery
+	// order, not send order.
+	delays := []uint64{300, 0}
+	calls := 0
+	n.SetChooser(func() uint64 { d := delays[calls]; calls++; return d })
+	slow := &coherence.Msg{Type: coherence.GetS, Src: 0, Dst: cfg.NumSMs}
+	fast := &coherence.Msg{Type: coherence.GetS, Src: 1, Dst: cfg.NumSMs + 1}
+	n.Send(slow, 0)
+	n.Send(fast, 0)
+	var order []*coherence.Msg
+	n.FoldInflight(func(at timing.Cycle, m *coherence.Msg) { order = append(order, m) })
+	if len(order) != 2 || order[0] != fast || order[1] != slow {
+		t.Fatalf("fold order wrong: got %v", order)
+	}
+}

@@ -474,6 +474,20 @@ func (m *Machine) AttachSpans(sp *span.Recorder) {
 	}
 }
 
+// SetNoCDelayChooser replaces the seeded NoC jitter stream with a
+// controlled-nondeterminism hook: fn is consulted once per message send,
+// in send order, for the extra pipeline delay. The model checker uses it
+// to turn every delivery into an enumerable decision point; choosers force
+// single-threaded semantics, so attach only to sequential (Shards <= 1)
+// machines. A nil fn restores the configured jitter behaviour.
+func (m *Machine) SetNoCDelayChooser(fn noc.DelayChooser) { m.network.SetChooser(fn) }
+
+// FoldInflight visits every in-flight NoC message in exact delivery order
+// (only meaningful while a delay chooser is attached; see noc.Network).
+func (m *Machine) FoldInflight(fn func(at timing.Cycle, msg *coherence.Msg)) {
+	m.network.FoldInflight(fn)
+}
+
 // Now returns the current cycle.
 func (m *Machine) Now() timing.Cycle { return m.now }
 
