@@ -26,11 +26,13 @@ import (
 
 	"rccsim/internal/config"
 	"rccsim/internal/experiments"
+	"rccsim/internal/ledger"
 	"rccsim/internal/obs"
 	"rccsim/internal/obs/span"
 	"rccsim/internal/report"
 	"rccsim/internal/resultcache"
 	"rccsim/internal/sim"
+	"rccsim/internal/stats"
 	"rccsim/internal/trace"
 	"rccsim/internal/workload"
 )
@@ -48,7 +50,8 @@ var (
 	metricsIvl  = flag.Uint64("metrics-interval", 0, "emit stats deltas into the trace every N cycles (0 = off)")
 
 	cacheDir  = flag.String("cache-dir", "", "content-addressed result cache directory: hits replay stored stats instead of simulating, making runs resumable and incremental")
-	serveAddr = flag.String("serve", "", "serve live introspection (/metrics, /runs, /healthz, /debug/pprof) on this address, e.g. :8080")
+	ledgerDir = flag.String("ledger", "", "append every finished simulation point (full wire stats; spans/heat for 'stats' runs) to the run ledger in this directory")
+	serveAddr = flag.String("serve", "", "serve live introspection (/metrics, /runs, /ledger, /healthz, /debug/pprof) on this address, e.g. :8080")
 	hotspots  = flag.Int("hotspots", 0, "print the top-N contended cache lines after a 'stats' run (0 = off)")
 	stacksOut = flag.String("stacks", "", "write folded cycle stacks of a 'stats' run to this file (flamegraph.pl input)")
 
@@ -107,10 +110,18 @@ func realMain() int {
 	if *spansN > 0 {
 		spans = span.NewRecorder(*spansN)
 	}
+	var led *ledger.Ledger
+	if *ledgerDir != "" {
+		led, err = ledger.Open(*ledgerDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
+			return 1
+		}
+	}
 	var tracker *obs.Tracker
 	if *serveAddr != "" {
 		tracker = obs.NewTracker(obs.NewRegistry())
-		addr, err := obs.StartServerSpans(*serveAddr, tracker.Registry(), tracker, spans)
+		addr, err := obs.StartServerLedger(*serveAddr, tracker.Registry(), tracker, spans, nil, ledger.Handler(led))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
 			return 1
@@ -127,8 +138,20 @@ func realMain() int {
 		}
 	}
 
+	var coll *ledger.Collector
+	if led != nil {
+		coll = ledger.NewCollector()
+		prev := r.Observe
+		r.Observe = func(label string, st *stats.Run) {
+			if prev != nil {
+				prev(label, st)
+			}
+			coll.Observe(label, st)
+		}
+	}
+
 	if args[0] == "stats" {
-		if err := statsReport(r.Base, tracker, spans, args[1:]); err != nil {
+		if err := statsReport(r.Base, tracker, spans, led, args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
 			return 1
 		}
@@ -146,7 +169,44 @@ func realMain() int {
 			return 1
 		}
 	}
+	if coll != nil && coll.Len() > 0 {
+		if err := appendLedger(led, tracker, "rccbench "+strings.Join(args, " "), coll.RunRecs()); err != nil {
+			fmt.Fprintf(os.Stderr, "rccbench: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// appendLedger records one run entry, diffs it against the previous
+// latest entry (when one exists), publishes the rccsim_regression_*
+// gauges when a server is up, and prints a one-line verdict on stderr.
+func appendLedger(led *ledger.Ledger, tracker *obs.Tracker, label string, runs []ledger.RunRec) error {
+	e := &ledger.Entry{
+		Kind:  ledger.KindRun,
+		Label: label,
+		Time:  ledger.Now(),
+		Host:  ledger.Fingerprint("."),
+		Runs:  runs,
+	}
+	prevID, prev, perr := led.Resolve("@-1")
+	id, err := led.Append(e)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rccbench: ledger: recorded %d run(s) as %s\n", len(runs), ledger.ShortID(id))
+	if perr == nil {
+		d := ledger.Compute(prevID, prev, id, e, ledger.Options{})
+		if tracker != nil {
+			ledger.PublishRegression(tracker.Registry(), d)
+		}
+		verdict := "OK"
+		if !d.Ok() {
+			verdict = "REGRESSED (run rccdiff " + ledger.ShortID(prevID)[:8] + " " + ledger.ShortID(id)[:8] + " for attribution)"
+		}
+		fmt.Fprintf(os.Stderr, "rccbench: ledger: vs %s: %s\n", ledger.ShortID(prevID), verdict)
+	}
+	return nil
 }
 
 // startProfiles starts the pprof captures requested by -cpuprofile and
@@ -484,7 +544,7 @@ func yesno(b bool) string {
 // per-run report, plus the optional -hotspots table, -stacks folded
 // cycle-account output, and the -spans causal-span section with its
 // -spans-out / -spans-folded exports.
-func statsReport(base config.Config, tracker *obs.Tracker, spans *span.Recorder, args []string) error {
+func statsReport(base config.Config, tracker *obs.Tracker, spans *span.Recorder, led *ledger.Ledger, args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: rccbench stats <bench> <protocol>")
 	}
@@ -553,6 +613,21 @@ func statsReport(base config.Config, tracker *obs.Tracker, spans *span.Recorder,
 			return werr
 		}
 		fmt.Fprintf(os.Stderr, "rccbench: wrote folded cycle stacks to %s\n", *stacksOut)
+	}
+	if led != nil {
+		rec := ledger.RunRec{Label: label}
+		rec.SetStats(res.Stats)
+		if spans != nil {
+			rec.Spans = ledger.SpanPercentiles(spans.Summarize(0))
+		}
+		heatTop := *hotspots
+		if heatTop == 0 {
+			heatTop = 16
+		}
+		rec.Heat = ledger.TopHeatLines(heat, heatTop)
+		if err := appendLedger(led, tracker, "rccbench stats "+label, []ledger.RunRec{rec}); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,322 @@
+// rccdiff — hierarchical perf-regression attribution over the run ledger.
+//
+// Given any two ledger entries (or entry/legacy-JSON files), rccdiff
+// decomposes their delta top-down: top-line throughput with a noise-aware
+// median ± MAD verdict, a largest-mover table over the cycle-account
+// categories (largest-remainder percentages that sum to exactly 100.0 and
+// reconcile against the closed-sum invariant), per-benchmark and per-run
+// drill-downs, and span/heat movers. Cross-host pairs are flagged and
+// their wall-clock comparisons skipped; simulated-cycle comparisons are
+// host-independent and always checked.
+//
+//	rccdiff [flags] BASE CUR        diff two refs (exit 1 on regression)
+//	rccdiff -ci [BASE CUR]          CI gate; defaults to @-2 @-1
+//	rccdiff -ci -window N           trailing-window baseline vs @-1
+//	rccdiff -record -label L        append an entry from go-bench stdin
+//	rccdiff -import FILE...         import legacy BENCH_<n>.json snapshots
+//	rccdiff -plant REF              append a synthetic regression (self-test)
+//	rccdiff -list                   list the ledger index
+//
+// A ref is @N (0-based index), @-N (from the end, @-1 latest), a content-ID
+// hex prefix (>= 4 chars), or a path to an entry / legacy BENCH JSON file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rccsim/internal/ledger"
+	"rccsim/internal/stats"
+)
+
+// marshalDiff renders the diff as indented JSON with a trailing newline.
+func marshalDiff(d *ledger.Diff) ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func main() {
+	var (
+		dir     = flag.String("dir", "ledger", "ledger directory")
+		ci      = flag.Bool("ci", false, "CI gate mode: diff BASE CUR (default @-2 @-1), exit 1 on regression")
+		window  = flag.Int("window", 0, "with -ci: pool the N entries before the latest into the baseline")
+		record  = flag.Bool("record", false, "append an entry parsed from `go test -bench` output on stdin")
+		doList  = flag.Bool("list", false, "list the ledger index")
+		imports = flag.Bool("import", false, "import legacy BENCH_<n>.json files (args) as read-only entries")
+		plant   = flag.String("plant", "", "append a planted regression derived from the given ref (self-test)")
+		cat     = flag.String("cat", "mshr-full", "with -plant: cycle-account category to inflate")
+		frac    = flag.Float64("frac", 0.25, "with -plant: fraction of total cycles to plant")
+		label   = flag.String("label", "", "with -record: entry label (required)")
+		kind    = flag.String("kind", ledger.KindBench, "with -record: entry kind")
+		jsonOut = flag.Bool("json", false, "emit the diff as JSON instead of text")
+		tol     = flag.Float64("tol", 10, "top-line wall-clock regression tolerance (percent)")
+		simTol  = flag.Float64("sim-tol", 2, "simulated-cycles regression tolerance (percent)")
+		mads    = flag.Float64("mads", 3, "noise band width in MADs")
+		bench   = flag.String("bench", "", "top-line benchmark name (default BenchmarkSimulatorThroughput)")
+		metric  = flag.String("metric", "", "top-line metric (default simCycles/s)")
+	)
+	flag.Parse()
+
+	if err := run(opts{
+		dir: *dir, ci: *ci, window: *window, record: *record, list: *doList,
+		imports: *imports, plant: *plant, cat: *cat, frac: *frac,
+		label: *label, kind: *kind, jsonOut: *jsonOut,
+		diffOpt: ledger.Options{
+			TopBench: *bench, TopMetric: *metric,
+			TolerancePct: *tol, SimTolerancePct: *simTol, NoiseMADs: *mads,
+		},
+		args: flag.Args(),
+	}); err != nil {
+		if err == errRegressed {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "rccdiff:", err)
+		os.Exit(2)
+	}
+}
+
+var errRegressed = fmt.Errorf("regression detected")
+
+type opts struct {
+	dir     string
+	ci      bool
+	window  int
+	record  bool
+	list    bool
+	imports bool
+	plant   string
+	cat     string
+	frac    float64
+	label   string
+	kind    string
+	jsonOut bool
+	diffOpt ledger.Options
+	args    []string
+}
+
+func run(o opts) error {
+	switch {
+	case o.list:
+		return runList(o)
+	case o.record:
+		return runRecord(o)
+	case o.imports:
+		return runImport(o)
+	case o.plant != "":
+		return runPlant(o)
+	}
+	// Diff mode (plain or -ci).
+	base, cur := "@-2", "@-1"
+	switch len(o.args) {
+	case 0:
+		if !o.ci {
+			return fmt.Errorf("need BASE and CUR refs (or -ci for the @-2 @-1 default); see -h")
+		}
+	case 2:
+		base, cur = o.args[0], o.args[1]
+	default:
+		return fmt.Errorf("expected exactly 2 refs, got %d", len(o.args))
+	}
+	return runDiff(o, base, cur)
+}
+
+func openLedger(o opts) (*ledger.Ledger, error) { return ledger.Open(o.dir) }
+
+// resolve maps a ref to (id, entry): a readable file wins (entry or legacy
+// JSON, identified by its content hash), otherwise the ledger resolves it.
+func resolve(l *ledger.Ledger, ref string) (string, *ledger.Entry, error) {
+	if b, err := os.ReadFile(ref); err == nil {
+		e, err := ledger.LoadEntryOrLegacy(b, ref)
+		if err != nil {
+			return "", nil, err
+		}
+		id, err := e.ID()
+		return id, e, err
+	}
+	return l.Resolve(ref)
+}
+
+func runList(o opts) error {
+	l, err := openLedger(o)
+	if err != nil {
+		return err
+	}
+	idx, err := l.Index()
+	if err != nil {
+		return err
+	}
+	if len(idx) == 0 {
+		fmt.Println("(empty ledger)")
+		return nil
+	}
+	for _, line := range idx {
+		fmt.Printf("@%-4d %s  %-8s %s\n", line.Seq, ledger.ShortID(line.ID), line.Kind, line.Label)
+	}
+	return nil
+}
+
+func runRecord(o opts) error {
+	if o.label == "" {
+		return fmt.Errorf("-record requires -label")
+	}
+	recs, err := ledger.ParseBenchOutput(os.Stdin)
+	if err != nil {
+		return err
+	}
+	l, err := openLedger(o)
+	if err != nil {
+		return err
+	}
+	e := &ledger.Entry{
+		Kind:       o.kind,
+		Label:      o.label,
+		Time:       ledger.Now(),
+		Host:       ledger.Fingerprint("."),
+		Benchmarks: recs,
+	}
+	id, err := l.Append(e)
+	if err != nil {
+		return err
+	}
+	samples := 0
+	for _, r := range recs {
+		samples += len(r.Samples)
+	}
+	fmt.Printf("recorded %s (%d benchmarks, %d samples) as %s\n",
+		o.label, len(recs), samples, ledger.ShortID(id))
+	return nil
+}
+
+func runImport(o opts) error {
+	if len(o.args) == 0 {
+		return fmt.Errorf("-import requires at least one BENCH_<n>.json file")
+	}
+	l, err := openLedger(o)
+	if err != nil {
+		return err
+	}
+	for _, path := range o.args {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		e, err := ledger.LoadEntryOrLegacy(b, path)
+		if err != nil {
+			return err
+		}
+		id, err := l.Append(e)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("imported %s as %s\n", e.Label, ledger.ShortID(id))
+	}
+	return nil
+}
+
+func runPlant(o opts) error {
+	l, err := openLedger(o)
+	if err != nil {
+		return err
+	}
+	_, e, err := resolve(l, o.plant)
+	if err != nil {
+		return err
+	}
+	c, err := catByName(o.cat)
+	if err != nil {
+		return err
+	}
+	p, err := ledger.Plant(e, c, o.frac)
+	if err != nil {
+		return err
+	}
+	id, err := l.Append(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("planted %s (+%.0f%% into %s) as %s\n", o.cat, o.frac*100, p.Label, ledger.ShortID(id))
+	return nil
+}
+
+func catByName(name string) (stats.CycleCat, error) {
+	var names []string
+	for _, c := range stats.CycleCats() {
+		if c.String() == name {
+			return c, nil
+		}
+		names = append(names, c.String())
+	}
+	return 0, fmt.Errorf("unknown cycle category %q (one of: %s)", name, strings.Join(names, ", "))
+}
+
+func runDiff(o opts, baseRef, curRef string) error {
+	l, err := openLedger(o)
+	if err != nil {
+		return err
+	}
+	curID, cur, err := resolve(l, curRef)
+	if err != nil {
+		return err
+	}
+	var baseID string
+	var base *ledger.Entry
+	if o.ci && o.window > 1 {
+		baseID, base, err = windowBase(l, o.window)
+	} else {
+		baseID, base, err = resolve(l, baseRef)
+	}
+	if err != nil {
+		return err
+	}
+	d := ledger.Compute(baseID, base, curID, cur, o.diffOpt)
+	if o.jsonOut {
+		b, err := marshalDiff(d)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(b)
+	} else {
+		fmt.Print(d.Format())
+	}
+	if o.ci && !d.Ok() {
+		return errRegressed
+	}
+	return nil
+}
+
+// windowBase pools the entries before the latest into one baseline (at
+// most n of them, host-filtered against the latest entry's fingerprint).
+func windowBase(l *ledger.Ledger, n int) (string, *ledger.Entry, error) {
+	idx, err := l.Index()
+	if err != nil {
+		return "", nil, err
+	}
+	if len(idx) < 2 {
+		return "", nil, fmt.Errorf("-window needs at least 2 ledger entries, have %d", len(idx))
+	}
+	latest, err := l.Get(idx[len(idx)-1].ID)
+	if err != nil {
+		return "", nil, err
+	}
+	lo := len(idx) - 1 - n
+	if lo < 0 {
+		lo = 0
+	}
+	var pool []*ledger.Entry
+	for _, line := range idx[lo : len(idx)-1] {
+		e, err := l.Get(line.ID)
+		if err != nil {
+			return "", nil, err
+		}
+		pool = append(pool, e)
+	}
+	base := ledger.WindowBaseline(pool, latest.Host)
+	id, err := base.ID()
+	return id, base, err
+}

@@ -46,6 +46,7 @@ import (
 	"rccsim/internal/config"
 	"rccsim/internal/experiments"
 	"rccsim/internal/farm"
+	"rccsim/internal/ledger"
 	"rccsim/internal/obs"
 	"rccsim/internal/resultcache"
 	"rccsim/internal/sim"
@@ -61,7 +62,8 @@ var (
 	shards   = flag.Int("shards", 1, "shards per simulated machine (parallel goroutines; results are bit-identical to -shards 1)")
 	progress = flag.Bool("progress", false, "report sweep progress (points done/total, ETA) on stderr")
 
-	serveAddr = flag.String("serve", "", "serve live introspection (/metrics, /runs, /healthz, /debug/pprof) on this address, e.g. :8080")
+	serveAddr = flag.String("serve", "", "serve live introspection (/metrics, /runs, /ledger, /healthz, /debug/pprof) on this address, e.g. :8080")
+	ledgerDir = flag.String("ledger", "", "append every sweep point (full wire stats, keyed label@point) to the run ledger in this directory")
 	hotspots  = flag.Int("hotspots", 0, "print the top-N contended cache lines, merged across all sweep points (0 = off)")
 
 	cacheDir     = flag.String("cache-dir", "", "content-addressed result cache directory: hits replay stored stats instead of simulating, making sweeps resumable")
@@ -129,6 +131,14 @@ func realMain() int {
 		}
 	}
 
+	var led *ledger.Ledger
+	if *ledgerDir != "" {
+		led, err = ledger.Open(*ledgerDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
+			return 1
+		}
+	}
 	var opts []experiments.RunOpt
 	var tracker *obs.Tracker
 	var coord *farm.Coordinator
@@ -142,7 +152,7 @@ func realMain() int {
 			Assign:       tracker.Assign,
 			Logf:         func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
 		})
-		addr, err := obs.StartServerFarm(*coordAddr, tracker.Registry(), tracker, nil, coord.Handler())
+		addr, err := obs.StartServerLedger(*coordAddr, tracker.Registry(), tracker, nil, coord.Handler(), ledger.Handler(led))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
 			return 1
@@ -153,17 +163,35 @@ func realMain() int {
 		sweepJobs = 1 << 16
 	} else if *serveAddr != "" {
 		tracker = obs.NewTracker(obs.NewRegistry())
-		addr, err := obs.StartServer(*serveAddr, tracker.Registry(), tracker)
+		addr, err := obs.StartServerLedger(*serveAddr, tracker.Registry(), tracker, nil, nil, ledger.Handler(led))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rccsweep: %v\n", err)
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "rccsweep: serving introspection on http://%s\n", addr)
 	}
+	var coll *ledger.Collector
+	if led != nil {
+		coll = ledger.NewCollector()
+	}
 	if tracker != nil {
 		opts = append(opts,
-			experiments.WithPointBegin(func(_ int, label string) { tracker.Begin(label) }),
-			experiments.WithPointDone(func(_ int, label string, st *stats.Run) { tracker.Done(label, st) }))
+			experiments.WithPointBegin(func(_ int, label string) { tracker.Begin(label) }))
+	}
+	if tracker != nil || coll != nil {
+		// WithPointDone is a single slot: fan out to the tracker and the
+		// ledger collector from one callback. The collector keys by
+		// label@point (input-order index), so the recorded entry is
+		// identical for any -j and for farmed points (workers post
+		// bit-deterministic stats back to this process).
+		opts = append(opts, experiments.WithPointDone(func(point int, label string, st *stats.Run) {
+			if tracker != nil {
+				tracker.Done(label, st)
+			}
+			if coll != nil {
+				coll.ObservePoint(point, label, st)
+			}
+		}))
 	}
 
 	// Executor chain: farm coordinator at the bottom (when distributed),
@@ -272,6 +300,32 @@ func realMain() int {
 	if err == nil && heats != nil {
 		fmt.Printf("\ntop %d contended lines (merged across %d points)\n", *hotspots, len(heats.m))
 		heats.merged().WriteTable(os.Stdout, *hotspots)
+	}
+	if err == nil && coll != nil && coll.Len() > 0 {
+		e := &ledger.Entry{
+			Kind:  ledger.KindSweep,
+			Label: fmt.Sprintf("rccsweep %s %s", flag.Arg(0), b.Name),
+			Time:  ledger.Now(),
+			Host:  ledger.Fingerprint("."),
+			Runs:  coll.RunRecs(),
+		}
+		prevID, prev, perr := led.Resolve("@-1")
+		id, aerr := led.Append(e)
+		if aerr != nil {
+			err = aerr
+		} else {
+			fmt.Fprintf(os.Stderr, "rccsweep: ledger: recorded %d point(s) as %s\n", coll.Len(), ledger.ShortID(id))
+			if perr == nil {
+				d := ledger.Compute(prevID, prev, id, e, ledger.Options{})
+				if tracker != nil {
+					ledger.PublishRegression(tracker.Registry(), d)
+				}
+				if !d.Ok() {
+					fmt.Fprintf(os.Stderr, "rccsweep: ledger: vs %s: REGRESSED (run rccdiff %s %s for attribution)\n",
+						ledger.ShortID(prevID), ledger.ShortID(prevID)[:8], ledger.ShortID(id)[:8])
+				}
+			}
+		}
 	}
 	if errors.Is(err, farm.ErrDraining) {
 		fmt.Fprintln(os.Stderr, "rccsweep: sweep interrupted; in-flight points were flushed, queued points abandoned")

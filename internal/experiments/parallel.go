@@ -75,7 +75,7 @@ func (r *Runner) Preload(reqs []Request) error {
 		q := reqs[i]
 		_, err := r.resultOpt(q.Protocol, q.Bench, q.Renew, q.Predictor)
 		if r.Progress != nil {
-			r.Progress(int(done.Add(1)), len(reqs), pointLabel(q.Bench.Name, q.Protocol))
+			r.Progress(int(done.Add(1)), len(reqs), ablationLabel(q.Bench.Name, q.Protocol, q.Renew, q.Predictor))
 		}
 		return err
 	})
@@ -102,7 +102,7 @@ func (r *Runner) resultOpt(p config.Protocol, b workload.Benchmark, renew, pred 
 	cfg.Protocol = p
 	cfg.RCCRenew = renew
 	cfg.RCCPredictor = pred
-	label := pointLabel(b.Name, p)
+	label := ablationLabel(b.Name, p, renew, pred)
 	if r.Started != nil {
 		r.Started(label)
 	}
@@ -119,6 +119,22 @@ func (r *Runner) resultOpt(p config.Protocol, b workload.Benchmark, renew, pred 
 // pointLabel names one simulation point for progress and /runs reporting.
 func pointLabel(bench string, p config.Protocol) string {
 	return fmt.Sprintf("%s/%v", bench, p)
+}
+
+// ablationLabel extends pointLabel with the non-default ablation switches,
+// so the Fig 7 -R/-P points are distinguishable from the default run of
+// the same (benchmark, protocol) pair in /runs and in ledger entries —
+// without the suffix the ledger collector would fold two different
+// simulations under one label.
+func ablationLabel(bench string, p config.Protocol, renew, pred bool) string {
+	l := pointLabel(bench, p)
+	if !renew {
+		l += "/-renew"
+	}
+	if !pred {
+		l += "/-pred"
+	}
+	return l
 }
 
 // parallelDo invokes f(0..n-1) with at most jobs concurrent workers

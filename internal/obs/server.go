@@ -41,6 +41,20 @@ func StartServerSpans(addr string, reg *Registry, tr *Tracker, sp *span.Recorder
 // worker assignments) and the worker-facing lease protocol. A nil farm
 // handler mounts nothing.
 func StartServerFarm(addr string, reg *Registry, tr *Tracker, sp *span.Recorder, farm http.Handler) (string, error) {
+	return startServer(addr, reg, tr, sp, farm, nil)
+}
+
+// StartServerLedger is StartServerFarm plus the /ledger archive endpoint
+// (pass ledger.Handler(l); nil mounts nothing). The handler is an opaque
+// http.Handler rather than a *ledger.Ledger because the dependency runs
+// the other way: sim imports obs, and ledger sits above both.
+func StartServerLedger(addr string, reg *Registry, tr *Tracker, sp *span.Recorder, farm, ledger http.Handler) (string, error) {
+	return startServer(addr, reg, tr, sp, farm, ledger)
+}
+
+// startServer is the shared implementation behind the StartServer*
+// helpers.
+func startServer(addr string, reg *Registry, tr *Tracker, sp *span.Recorder, farm, ledger http.Handler) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -67,6 +81,9 @@ func StartServerFarm(addr string, reg *Registry, tr *Tracker, sp *span.Recorder,
 	}
 	if farm != nil {
 		mux.Handle("/farm/", farm)
+	}
+	if ledger != nil {
+		mux.Handle("/ledger", ledger)
 	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

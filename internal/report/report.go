@@ -117,6 +117,14 @@ func frac(n, d uint64) float64 {
 // never absorb a tenth. Ties break toward the earlier index, keeping the
 // output deterministic.
 func percentShares(values []uint64, total uint64) []float64 {
+	return PercentShares(values, total)
+}
+
+// PercentShares is the exported form of the largest-remainder rounding
+// used throughout this package's tables, shared with the ledger diff so
+// regression-attribution percentages follow the same conventions (sum to
+// exactly 100.0, zero rows stay 0.0, deterministic tie-breaks).
+func PercentShares(values []uint64, total uint64) []float64 {
 	out := make([]float64, len(values))
 	if total == 0 {
 		return out

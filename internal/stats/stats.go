@@ -368,6 +368,23 @@ func (r *Run) TotalAccounted() uint64 {
 	return t
 }
 
+// AccountedSMs recovers the simulated SM count from the closed-sum
+// cycle-accounting invariant TotalAccounted() == Cycles × NumSMs. It
+// returns (0, false) when the invariant does not hold exactly (zero
+// cycles, or a counter set whose accounting was corrupted) — callers such
+// as the ledger diff use that as an integrity check before attributing
+// per-SM-cycle deltas.
+func (r *Run) AccountedSMs() (int, bool) {
+	if r.Cycles == 0 {
+		return 0, false
+	}
+	t := r.TotalAccounted()
+	if t%r.Cycles != 0 {
+		return 0, false
+	}
+	return int(t / r.Cycles), true
+}
+
 // TotalFlits sums flits over all message classes.
 func (r *Run) TotalFlits() uint64 {
 	var t uint64

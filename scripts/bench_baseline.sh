@@ -1,52 +1,29 @@
 #!/usr/bin/env bash
-# Record the simulator-performance baseline used to track the perf
-# trajectory across PRs. Runs BenchmarkSimulatorThroughput and
-# BenchmarkProtocols with allocation counting and writes the parsed
-# metrics as JSON (default: BENCH_0.json in the repo root).
+# Record a simulator-performance baseline into the run ledger. Runs
+# BenchmarkSimulatorThroughput and BenchmarkProtocols BENCH_COUNT times
+# (repeat-level samples, so rccdiff can compute median ± MAD noise bounds
+# instead of trusting a single aggregate) and appends one ledger entry
+# with the full host fingerprint (CPU model, cores, GOMAXPROCS, Go
+# version, kernel, git SHA).
 #
-# Usage: scripts/bench_baseline.sh [out.json]
+# Usage: scripts/bench_baseline.sh [label]
+#        BENCHTIME=3x BENCH_COUNT=5 LEDGER_DIR=ledger scripts/bench_baseline.sh
 #
-# Without an argument it picks the next unused BENCH_N.json, extending the
-# checked-in baseline sequence (BENCH_0, BENCH_1, BENCH_2, ...); compare
-# neighbours with scripts/bench_compare.sh. Regenerate on the machine
-# whose numbers you want to compare against; simCycles/s is
-# host-dependent, allocs/op and B/op are not.
+# The default label is "bench <short-sha>". Compare entries with
+# cmd/rccdiff:  go run ./cmd/rccdiff -ci   (latest vs previous).
+#
+# The historical BENCH_<n>.json workflow is preserved read-only: old
+# snapshots were imported into the checked-in ledger/ directory with
+# `rccdiff -import` and remain diffable by ref or file path.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-}"
-if [ -z "$out" ]; then
-	n=0
-	while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
-	out="BENCH_${n}.json"
-fi
+dir="${LEDGER_DIR:-ledger}"
 benchtime="${BENCHTIME:-3x}"
+count="${BENCH_COUNT:-3}"
+label="${1:-bench $(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
 
-raw="$(go test -run '^$' -bench 'SimulatorThroughput|Protocols' \
-	-benchtime "$benchtime" -benchmem .)"
-
-{
-	echo "{"
-	echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
-	echo "  \"go\": \"$(go version | sed 's/"/\\"/g')\","
-	echo "  \"host\": \"$(uname -srm)\","
-	echo "  \"benchtime\": \"$benchtime\","
-	echo "  \"benchmarks\": ["
-	# Bench lines look like:
-	#   BenchmarkX-8  2  500000 ns/op  227826 simCycles/s  8627184 B/op  105463 allocs/op
-	# i.e. name, iteration count, then (value, unit) pairs.
-	printf '%s\n' "$raw" | awk '
-		/^Benchmark/ {
-			if (n++) printf ",\n"
-			printf "    {\"name\": \"%s\", \"iterations\": %s", $1, $2
-			for (i = 3; i < NF; i += 2)
-				printf ", \"%s\": %s", $(i + 1), $i
-			printf "}"
-		}
-		END { printf "\n" }'
-	echo "  ]"
-	echo "}"
-} >"$out"
-
-echo "wrote $out:"
-cat "$out"
+go test -run '^$' -bench 'SimulatorThroughput|Protocols' \
+	-benchtime "$benchtime" -count "$count" -benchmem . |
+	tee /dev/stderr |
+	go run ./cmd/rccdiff -dir "$dir" -record -label "$label"

@@ -1,82 +1,29 @@
 #!/usr/bin/env bash
-# Compare two bench_baseline.sh JSON files and fail if simulator
-# throughput (BenchmarkSimulatorThroughput simCycles/s) regressed by more
-# than BENCH_TOLERANCE percent (default 10). Only compare files recorded
-# on the same host: simCycles/s is host-dependent.
+# Thin wrapper over the rccdiff CI gate: compare two ledger entries (or
+# entry/legacy BENCH JSON files) and fail if the top-line throughput
+# regressed beyond BENCH_TOLERANCE percent (default 10), with the
+# category-level attribution table on failure. Cross-host pairs are
+# flagged and their wall-clock comparison skipped; simulated-cycle
+# deltas are host-independent and always gated.
 #
-# Usage: scripts/bench_compare.sh [BASELINE.json CURRENT.json]
-#        BENCH_TOLERANCE=5 scripts/bench_compare.sh BENCH_1.json BENCH_2.json
+# Usage: scripts/bench_compare.sh [BASE CUR]
+#        BENCH_TOLERANCE=5 scripts/bench_compare.sh @-2 @-1
+#        scripts/bench_compare.sh BENCH_4.json BENCH_5.json
 #
-# With no arguments, compares the two highest-numbered BENCH_<n>.json in
-# the repo root — the same pair a fresh bench_baseline.sh run would extend
-# — so CI does not need editing every time a baseline lands.
+# With no arguments it compares the two most recent entries of the
+# checked-in ledger/ (refs @-2 and @-1) — the same pair a fresh
+# bench_baseline.sh run would extend.
 set -euo pipefail
 
+cd "$(dirname "$0")/.."
+dir="${LEDGER_DIR:-ledger}"
+tol="${BENCH_TOLERANCE:-10}"
+
 case $# in
-0)
-	# Numeric sort on the <n> in BENCH_<n>.json; lexical sort would put
-	# BENCH_10 before BENCH_2.
-	mapfile -t files < <(ls BENCH_[0-9]*.json 2>/dev/null | sort -t_ -k2 -n)
-	if [ "${#files[@]}" -lt 2 ]; then
-		echo "bench_compare: need at least two BENCH_<n>.json baselines, found ${#files[@]}" >&2
-		exit 2
-	fi
-	base="${files[-2]}"
-	cur="${files[-1]}"
-	;;
-2)
-	base="$1"
-	cur="$2"
-	;;
+0) exec go run ./cmd/rccdiff -dir "$dir" -tol "$tol" -ci ;;
+2) exec go run ./cmd/rccdiff -dir "$dir" -tol "$tol" -ci "$1" "$2" ;;
 *)
-	echo "usage: $0 [BASELINE.json CURRENT.json]" >&2
+	echo "usage: $0 [BASE CUR]   (refs: @N, @-N, ID prefix, or JSON file path)" >&2
 	exit 2
 	;;
 esac
-tol="${BENCH_TOLERANCE:-10}"
-
-throughput() {
-	# Pull simCycles/s out of the BenchmarkSimulatorThroughput entry.
-	# Splitting records on '}' keeps each benchmark object together
-	# regardless of the key order inside it (the old name-then-metric grep
-	# silently returned nothing if simCycles/s preceded name).
-	awk -v RS='}' '
-		/"name": *"BenchmarkSimulatorThroughput"/ {
-			if (match($0, /"simCycles\/s": *[0-9.]+/)) {
-				v = substr($0, RSTART, RLENGTH)
-				sub(/.*: */, "", v)
-				print v
-				exit
-			}
-		}' "$1"
-}
-
-b="$(throughput "$base")"
-c="$(throughput "$cur")"
-if [ -z "$b" ] || [ -z "$c" ]; then
-	echo "bench_compare: BenchmarkSimulatorThroughput missing from $base or $cur" >&2
-	exit 2
-fi
-
-host() {
-	awk -v RS=',' '/"host": *"/ { sub(/.*"host": *"/, ""); sub(/".*/, ""); print; exit }' "$1"
-}
-hb="$(host "$base")"
-hc="$(host "$cur")"
-if [ -n "$hb" ] && [ -n "$hc" ] && [ "$hb" != "$hc" ]; then
-	# Different recording hosts: simCycles/s is not comparable. Succeed
-	# loudly rather than fail on noise — the next same-host baseline pair
-	# re-arms the check.
-	echo "bench_compare: $base ($hb) and $cur ($hc) were recorded on different hosts; skipping comparison" >&2
-	exit 0
-fi
-
-awk -v b="$b" -v c="$c" -v tol="$tol" -v bf="$base" -v cf="$cur" 'BEGIN {
-	drop = 100 * (b - c) / b
-	printf "%s: %d simCycles/s\n%s: %d simCycles/s\nchange: %+.1f%%\n", bf, b, cf, c, -drop
-	if (drop > tol) {
-		printf "FAIL: throughput regressed %.1f%% (tolerance %s%%)\n", drop, tol
-		exit 1
-	}
-	printf "OK: within %s%% tolerance\n", tol
-}'
